@@ -1,0 +1,147 @@
+// Micro-benchmarks for the dynamic task reachability graph: the per-event
+// and per-query costs behind Theorem 1's bounds.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "futrace/dsr/labels.hpp"
+#include "futrace/dsr/reachability_graph.hpp"
+
+namespace {
+
+using futrace::dsr::label_allocator;
+using futrace::dsr::reachability_graph;
+using futrace::dsr::task_id;
+
+void BM_LabelSpawnTerminate(benchmark::State& state) {
+  for (auto _ : state) {
+    label_allocator alloc;
+    for (int i = 0; i < 1024; ++i) {
+      auto label = alloc.on_spawn();
+      benchmark::DoNotOptimize(label);
+      benchmark::DoNotOptimize(alloc.on_terminate());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_LabelSpawnTerminate);
+
+void BM_CreateTask(benchmark::State& state) {
+  for (auto _ : state) {
+    reachability_graph g;
+    const task_id root = g.create_root();
+    for (int i = 0; i < 1024; ++i) {
+      benchmark::DoNotOptimize(g.create_task(root));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_CreateTask);
+
+void BM_FinishJoinMerge(benchmark::State& state) {
+  for (auto _ : state) {
+    reachability_graph g;
+    const task_id root = g.create_root();
+    for (int i = 0; i < 1024; ++i) {
+      const task_id c = g.create_task(root);
+      g.on_terminate(c);
+      g.on_finish_join(root, c);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_FinishJoinMerge);
+
+// PRECEDE via the same-set fast path.
+void BM_PrecedeSameSet(benchmark::State& state) {
+  reachability_graph g;
+  const task_id root = g.create_root();
+  const task_id c = g.create_task(root);
+  g.on_terminate(c);
+  g.on_finish_join(root, c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.precedes(c, root));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrecedeSameSet);
+
+// PRECEDE via interval subsumption (live ancestor).
+void BM_PrecedeSubsumption(benchmark::State& state) {
+  reachability_graph g;
+  task_id cur = g.create_root();
+  for (int i = 0; i < 64; ++i) cur = g.create_task(cur);
+  const task_id root = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.precedes(root, cur));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrecedeSubsumption);
+
+// PRECEDE answered negatively for a parallel sibling (single nt scan).
+void BM_PrecedeParallelSibling(benchmark::State& state) {
+  reachability_graph g;
+  const task_id root = g.create_root();
+  const task_id a = g.create_task(root);
+  g.on_terminate(a);
+  const task_id b = g.create_task(root);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.precedes(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrecedeParallelSibling);
+
+// PRECEDE across a chain of non-tree joins of the given length: the
+// (n+1)-factor of Theorem 1's query bound.
+void BM_PrecedeNtChain(benchmark::State& state) {
+  const auto hops = static_cast<std::size_t>(state.range(0));
+  reachability_graph g;
+  const task_id root = g.create_root();
+  std::vector<task_id> chain;
+  for (std::size_t i = 0; i <= hops; ++i) {
+    const task_id t = g.create_task(root);
+    if (!chain.empty()) g.on_get(t, chain.back());
+    g.on_terminate(t);
+    chain.push_back(t);
+  }
+  // Query: does the head of the chain precede a fresh task that joined only
+  // the tail? Answering requires walking the whole chain.
+  const task_id cur = g.create_task(root);
+  g.on_get(cur, chain.back());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.precedes(chain.front(), cur));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrecedeNtChain)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Union-find pressure: wide finish with path compression afterwards.
+void BM_WideFinishThenQueries(benchmark::State& state) {
+  const auto width = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    reachability_graph g;
+    const task_id root = g.create_root();
+    std::vector<task_id> kids;
+    for (std::size_t i = 0; i < width; ++i) {
+      const task_id c = g.create_task(root);
+      g.on_terminate(c);
+      kids.push_back(c);
+    }
+    for (const task_id c : kids) g.on_finish_join(root, c);
+    const task_id cur = g.create_task(root);
+    state.ResumeTiming();
+    for (const task_id c : kids) {
+      benchmark::DoNotOptimize(g.precedes(c, cur));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WideFinishThenQueries)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

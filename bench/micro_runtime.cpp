@@ -1,0 +1,165 @@
+// Micro-benchmarks for the runtime substrate: construct overheads in each
+// execution mode and the work-stealing deque.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/runtime/runtime.hpp"
+#include "futrace/runtime/ws_deque.hpp"
+
+namespace {
+
+using namespace futrace;
+
+constexpr int kTasksPerRun = 4096;
+
+void spawn_many() {
+  finish([] {
+    for (int i = 0; i < kTasksPerRun; ++i) {
+      async([] { benchmark::DoNotOptimize(0); });
+    }
+  });
+}
+
+void BM_SpawnElision(benchmark::State& state) {
+  for (auto _ : state) {
+    runtime rt({.mode = exec_mode::serial_elision});
+    rt.run(spawn_many);
+  }
+  state.SetItemsProcessed(state.iterations() * kTasksPerRun);
+}
+BENCHMARK(BM_SpawnElision);
+
+void BM_SpawnSerialDfs(benchmark::State& state) {
+  for (auto _ : state) {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.run(spawn_many);
+  }
+  state.SetItemsProcessed(state.iterations() * kTasksPerRun);
+}
+BENCHMARK(BM_SpawnSerialDfs);
+
+void BM_SpawnSerialWithDetector(benchmark::State& state) {
+  for (auto _ : state) {
+    detect::race_detector det;
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.add_observer(&det);
+    rt.run(spawn_many);
+  }
+  state.SetItemsProcessed(state.iterations() * kTasksPerRun);
+}
+BENCHMARK(BM_SpawnSerialWithDetector);
+
+void BM_SpawnParallel(benchmark::State& state) {
+  for (auto _ : state) {
+    std::atomic<int> sink{0};
+    runtime rt({.mode = exec_mode::parallel, .workers = 2});
+    rt.run([&] {
+      finish([&] {
+        for (int i = 0; i < kTasksPerRun; ++i) {
+          async([&] { sink.fetch_add(1, std::memory_order_relaxed); });
+        }
+      });
+    });
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.SetItemsProcessed(state.iterations() * kTasksPerRun);
+}
+BENCHMARK(BM_SpawnParallel);
+
+void BM_FutureCreateGetSerial(benchmark::State& state) {
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.run([&] {
+    for (auto _ : state) {
+      auto f = async_future([] { return 1; });
+      benchmark::DoNotOptimize(f.get());
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FutureCreateGetSerial);
+
+void BM_SharedReadUninstrumented(benchmark::State& state) {
+  runtime rt({.mode = exec_mode::serial_elision});
+  rt.run([&] {
+    shared<int> x(42);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(x.read());
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedReadUninstrumented);
+
+void BM_SharedReadDetected(benchmark::State& state) {
+  detect::race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([&] {
+    shared<int> x(42);
+    x.write(42);
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(x.read());
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedReadDetected);
+
+void BM_PromisePutGetSerial(benchmark::State& state) {
+  // One put splits the current chain into a continuation; this measures the
+  // full promise round trip including the split bookkeeping.
+  detect::race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([&] {
+    for (auto _ : state) {
+      promise<int> p;
+      p.put(1);
+      benchmark::DoNotOptimize(p.get());
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PromisePutGetSerial);
+
+void BM_PromisePutGetParallel(benchmark::State& state) {
+  runtime rt({.mode = exec_mode::parallel, .workers = 2});
+  rt.run([&] {
+    for (auto _ : state) {
+      promise<int> p;
+      p.put(1);
+      benchmark::DoNotOptimize(p.get());
+    }
+  });
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PromisePutGetParallel);
+
+void BM_WsDequePushPop(benchmark::State& state) {
+  ws_deque<int*> dq;
+  int value = 0;
+  for (auto _ : state) {
+    dq.push(&value);
+    benchmark::DoNotOptimize(dq.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WsDequePushPop);
+
+void BM_WsDequeStealUncontended(benchmark::State& state) {
+  ws_deque<int*> dq;
+  int value = 0;
+  for (auto _ : state) {
+    dq.push(&value);
+    benchmark::DoNotOptimize(dq.steal());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WsDequeStealUncontended);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+// Micro-benchmarks for the shadow-memory path: one ptr_map lookup plus
+// reader/writer checks per instrumented access — the dominant term in the
+// Table 2 slowdowns.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/support/ptr_map.hpp"
+
+namespace {
+
+using futrace::access_site;
+using futrace::detect::race_detector;
+using futrace::support::ptr_map;
+
+void BM_PtrMapHit(benchmark::State& state) {
+  ptr_map<int> map;
+  std::vector<int> keys(4096);
+  for (auto& k : keys) map[&k] = 1;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(&keys[i]));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PtrMapHit);
+
+void BM_PtrMapMiss(benchmark::State& state) {
+  ptr_map<int> map;
+  std::vector<int> keys(4096), absent(4096);
+  for (auto& k : keys) map[&k] = 1;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.find(&absent[i]));
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PtrMapMiss);
+
+// Detector driven directly through its observer interface: repeated writes
+// by one task (the same-task fast path every sequential program hits).
+void BM_DetectorSameTaskWrites(benchmark::State& state) {
+  race_detector det;
+  det.on_program_start(0);
+  std::vector<int> cells(1024);
+  const access_site site{"bench", 1};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    det.on_write(0, &cells[i], sizeof(int), site);
+    i = (i + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorSameTaskWrites);
+
+// Read path with a prior ordered writer: one PRECEDE per read.
+void BM_DetectorOrderedReadAfterWrite(benchmark::State& state) {
+  race_detector det;
+  det.on_program_start(0);
+  std::vector<int> cells(1024);
+  const access_site site{"bench", 1};
+  for (auto& c : cells) det.on_write(0, &c, sizeof(int), site);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    det.on_read(0, &cells[i], sizeof(int), site);
+    i = (i + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorOrderedReadAfterWrite);
+
+// Write path that must test a reader set of the given size (the v*(f+1)
+// term): future readers joined through tree joins.
+void BM_DetectorWriteOverFutureReaders(benchmark::State& state) {
+  const auto readers = static_cast<std::size_t>(state.range(0));
+  race_detector det;
+  det.on_program_start(0);
+  int cell = 0;
+  const access_site site{"bench", 1};
+  det.on_write(0, &cell, sizeof(int), site);
+  std::vector<futrace::task_id> tasks;
+  for (std::size_t i = 0; i < readers; ++i) {
+    const futrace::task_id t = static_cast<futrace::task_id>(i + 1);
+    det.on_task_spawn(0, t, futrace::task_kind::future);
+    det.on_read(t, &cell, sizeof(int), site);
+    det.on_task_end(t);
+    tasks.push_back(t);
+  }
+  for (const auto t : tasks) det.on_get(0, t);  // tree joins: all ordered
+  for (auto _ : state) {
+    det.on_write(0, &cell, sizeof(int), site);
+    state.PauseTiming();
+    // Restore the reader set so every iteration pays the same cost.
+    for (const auto t : tasks) det.on_read(t, &cell, sizeof(int), site);
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorWriteOverFutureReaders)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Appendix A of the paper: programs with races on future *handles* can
+// deadlock in some schedules and fault in others. This demo runs the
+// appendix's two-future program on the serial depth-first engine, where the
+// unset-handle get() surfaces as a deadlock_error instead of a hang, and
+// shows that the handle cells themselves are reported as racy — the paper's
+// point that race freedom (on handles included) implies deadlock freedom.
+
+#include <cstdio>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/runtime/runtime.hpp"
+
+int main() {
+  using namespace futrace;
+
+  // ---- The appendix program, verbatim shape ---------------------------------
+  //   future<T> a = null, b = null;
+  //   async { a = async<T> { b.get(); ... } }   // F1
+  //   async { b = async<T> { a.get(); ... } }   // F2
+  std::printf("running the Appendix A program on the serial engine...\n");
+  {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    try {
+      rt.run([] {
+        future<int> a, b;
+        async([&] {
+          a = async_future([&] { return b.get(); });  // F1
+        });
+        async([&] {
+          b = async_future([&] { return a.get(); });  // F2
+        });
+        (void)b.get();
+      });
+      std::printf("  unexpectedly completed\n");
+      return 1;
+    } catch (const deadlock_error& e) {
+      std::printf("  deadlock_error: %s\n\n", e.what());
+    }
+  }
+
+  // ---- Why: the handle cells race -------------------------------------------
+  std::printf("race-checking the handle cells (shared future references):\n");
+  detect::race_detector detector;
+  {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.add_observer(&detector);
+    rt.run([] {
+      shared<future<int>> a_cell, b_cell;
+      async([&] {
+        a_cell.write(async_future([&] {
+          future<int> b = b_cell.read();
+          return b.valid() && b.is_done() ? b.get() : -1;
+        }));
+      });
+      async([&] {
+        b_cell.write(async_future([&] {
+          future<int> a = a_cell.read();
+          return a.valid() && a.is_done() ? a.get() : -1;
+        }));
+      });
+    });
+  }
+  std::printf("  %llu race(s) on the handle cells:\n",
+              static_cast<unsigned long long>(detector.race_count()));
+  for (const auto& report : detector.reports()) {
+    std::printf("  %s\n", report.to_string().c_str());
+  }
+  std::printf("\nAppendix A: a program with async/finish/future deadlocks "
+              "only if future references race; race-free programs are "
+              "deadlock-free and determinate.\n");
+  return detector.race_detected() ? 0 : 1;
+}

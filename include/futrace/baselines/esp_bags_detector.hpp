@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file esp_bags_detector.hpp
+/// ESP-bags determinacy race detector for async-finish programs (Raman,
+/// Zhao, Sarkar, Vechev & Yahav, "Efficient Data Race Detection for
+/// Async-Finish Parallelism"), the paper's reference point for structured
+/// parallelism: §5 argues the new algorithm "does not incur additional
+/// overhead for async/finish constructs relative to state-of-the-art
+/// implementations", and the vs_baselines benchmark measures exactly that by
+/// running both detectors on the same async-finish workloads.
+///
+/// Invariant (from SP-bags): a completed task sits in an S-bag iff every
+/// step it executed precedes the current step; in a P-bag iff it can run in
+/// parallel with the current step. Futures are *not* supported — attaching
+/// this detector to a program that performs get() is an error, which is the
+/// paper's point.
+
+#include <cstdint>
+#include <vector>
+
+#include "futrace/runtime/observer.hpp"
+#include "futrace/support/ptr_map.hpp"
+
+namespace futrace::baselines {
+
+class esp_bags_detector final : public execution_observer {
+ public:
+  // -- execution_observer ----------------------------------------------------
+  void on_program_start(task_id root) override;
+  void on_task_spawn(task_id parent, task_id child, task_kind kind) override;
+  void on_task_end(task_id t) override;
+  void on_finish_start(task_id owner) override;
+  void on_finish_end(task_id owner, std::span<const task_id> joined) override;
+  void on_get(task_id waiter, task_id target) override;
+  void on_promise_put(task_id fulfiller) override;
+  void on_read(task_id t, const void* addr, std::size_t size,
+               access_site site) override;
+  void on_write(task_id t, const void* addr, std::size_t size,
+                access_site site) override;
+
+  // -- results ----------------------------------------------------------------
+  bool race_detected() const noexcept { return races_ > 0; }
+  std::uint64_t race_count() const noexcept { return races_; }
+  std::vector<const void*> racy_locations() const;
+
+  std::size_t memory_bytes() const;
+
+ private:
+  enum class bag_tag : std::uint8_t { s_bag, p_bag };
+
+  struct node {
+    task_id uf_parent;
+    std::uint32_t uf_size = 1;
+    bag_tag tag = bag_tag::s_bag;  // authoritative at the representative
+  };
+
+  struct cell {
+    task_id writer = k_invalid_task;
+    task_id reader = k_invalid_task;
+  };
+
+  task_id find(task_id t);
+  void set_union(task_id into, task_id from, bag_tag tag);
+  bool precedes(task_id x, task_id current);
+
+  std::vector<node> nodes_;
+  // One P-bag per finish: represented by the set of the first task merged
+  // into it (k_invalid_task while empty).
+  struct finish_frame {
+    task_id owner;
+    task_id pbag = k_invalid_task;
+  };
+  std::vector<finish_frame> finish_stack_;
+
+  support::ptr_map<cell> shadow_;
+  std::vector<const void*> racy_;
+  std::uint64_t races_ = 0;
+};
+
+}  // namespace futrace::baselines

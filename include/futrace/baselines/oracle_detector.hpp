@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file oracle_detector.hpp
+/// Brute-force reference detector: records the *full* computation graph and
+/// every memory access at step granularity, and decides u ∥ v by graph
+/// search. Exactly the "building the transitive closure of the
+/// happens-before relation" approach the paper's introduction rejects for
+/// cost — which makes it the perfect oracle: the property tests require the
+/// real detector's per-location verdicts to match this one on thousands of
+/// random programs (Theorem 2).
+
+#include <vector>
+
+#include "futrace/graph/graph_recorder.hpp"
+#include "futrace/runtime/observer.hpp"
+#include "futrace/support/ptr_map.hpp"
+
+namespace futrace::baselines {
+
+class oracle_detector final : public execution_observer {
+ public:
+  // -- execution_observer ----------------------------------------------------
+  void on_program_start(task_id root) override;
+  void on_task_spawn(task_id parent, task_id child, task_kind kind) override;
+  void on_task_end(task_id t) override;
+  void on_finish_start(task_id owner) override;
+  void on_finish_end(task_id owner, std::span<const task_id> joined) override;
+  void on_get(task_id waiter, task_id target) override;
+  void on_read(task_id t, const void* addr, std::size_t size,
+               access_site site) override;
+  void on_write(task_id t, const void* addr, std::size_t size,
+                access_site site) override;
+
+  // -- results ----------------------------------------------------------------
+  bool race_detected() const noexcept { return races_ > 0; }
+  std::uint64_t race_count() const noexcept { return races_; }
+
+  /// Distinct locations involved in at least one step-level race, sorted.
+  std::vector<const void*> racy_locations() const;
+
+  /// One entry per detected racy step pair (first executed earlier).
+  struct racy_pair {
+    const void* location;
+    graph::step_id first;
+    graph::step_id second;
+    bool first_is_write;
+    bool second_is_write;
+  };
+  const std::vector<racy_pair>& racy_pairs() const noexcept {
+    return racy_pairs_;
+  }
+
+  const graph::graph_recorder& recorder() const noexcept { return recorder_; }
+  const graph::computation_graph& graph() const noexcept {
+    return recorder_.graph();
+  }
+
+ private:
+  struct access {
+    graph::step_id step;
+    bool is_write;
+  };
+
+  void check(task_id t, const void* addr, bool is_write);
+
+  graph::graph_recorder recorder_;
+  support::ptr_map<std::vector<access>> history_;
+  std::vector<const void*> racy_;
+  std::vector<racy_pair> racy_pairs_;
+  std::uint64_t races_ = 0;
+};
+
+}  // namespace futrace::baselines

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file vector_clock_detector.hpp
+/// Vector-clock style determinacy race detector, the approach the paper's
+/// introduction argues is impractical for dynamic task parallelism: sound
+/// and precise clocks need one component per *task*, so the per-task state
+/// is O(#tasks) and total space is O(#tasks²). This implementation keeps
+/// one happens-before bitset per task (bit X set in task T's set ⟺ every
+/// step task X has executed precedes T's current step, maintained at spawn,
+/// get, and finish boundaries of the serial depth-first execution).
+///
+/// It produces the same verdicts as the paper's detector — the point of the
+/// vs_baselines benchmark is the time and, above all, the memory column.
+
+#include <cstdint>
+#include <vector>
+
+#include "futrace/runtime/observer.hpp"
+#include "futrace/support/ptr_map.hpp"
+#include "futrace/support/small_vector.hpp"
+
+namespace futrace::baselines {
+
+class vector_clock_detector final : public execution_observer {
+ public:
+  // -- execution_observer ----------------------------------------------------
+  void on_program_start(task_id root) override;
+  void on_task_spawn(task_id parent, task_id child, task_kind kind) override;
+  void on_finish_end(task_id owner, std::span<const task_id> joined) override;
+  void on_get(task_id waiter, task_id target) override;
+  void on_read(task_id t, const void* addr, std::size_t size,
+               access_site site) override;
+  void on_write(task_id t, const void* addr, std::size_t size,
+                access_site site) override;
+
+  // -- results ----------------------------------------------------------------
+  bool race_detected() const noexcept { return races_ > 0; }
+  std::uint64_t race_count() const noexcept { return races_; }
+  std::vector<const void*> racy_locations() const;
+
+  /// Bytes held by the happens-before bitsets — the quadratic term.
+  std::size_t clock_bytes() const;
+  std::size_t memory_bytes() const;
+
+ private:
+  // One dynamic bitset per task, indexed by task id.
+  using bits = std::vector<std::uint64_t>;
+
+  struct cell {
+    task_id writer = k_invalid_task;
+    support::small_vector<task_id, 2> readers;
+  };
+
+  static void set_bit(bits& b, task_id t);
+  static bool test_bit(const bits& b, task_id t);
+  static void merge_into(bits& into, const bits& from);
+
+  bool precedes(task_id x, task_id current) const;
+
+  std::vector<bits> clocks_;
+  support::ptr_map<cell> shadow_;
+  std::vector<const void*> racy_;
+  std::uint64_t races_ = 0;
+};
+
+}  // namespace futrace::baselines

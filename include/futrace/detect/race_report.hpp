@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file race_report.hpp
+/// Determinacy-race reports. A report names the two conflicting accesses in
+/// depth-first execution order: `first` executed earlier, `second` is the
+/// access at which the detector proved first ∥ second (Definition 3).
+
+#include <cstdint>
+#include <string>
+
+#include "futrace/runtime/observer.hpp"
+
+namespace futrace::detect {
+
+enum class race_kind : std::uint8_t {
+  write_write,  // earlier write, current write
+  read_write,   // earlier read,  current write
+  write_read,   // earlier write, current read
+};
+
+const char* race_kind_name(race_kind kind);
+
+struct race_report {
+  const void* location = nullptr;
+  race_kind kind = race_kind::write_write;
+  task_id first_task = k_invalid_task;
+  task_id second_task = k_invalid_task;
+  access_site first_site;
+  access_site second_site;
+
+  /// Human-readable single-line rendering for logs and examples.
+  std::string to_string() const;
+};
+
+}  // namespace futrace::detect

@@ -1,0 +1,176 @@
+#pragma once
+
+/// \file shadow_memory.hpp
+/// Shadow memory (paper §4.2). Every instrumented location carries:
+///   - w: the task that last wrote it, and
+///   - r: the set of tasks that read it in parallel since the last write —
+///        at most one async task (Lemma 4 makes one representative async
+///        reader sufficient) but arbitrarily many future tasks.
+///
+/// One shadow lookup happens per instrumented access, and big workloads
+/// touch hundreds of megabytes of shadow state, so the cell layout is
+/// compact: 24 bytes, with source positions interned to 4-byte site ids and
+/// one reader stored inline (the paper's #AvgReaders is < 2 everywhere);
+/// additional future readers spill to a heap vector.
+///
+/// The detector owns the update rules (Algorithms 8 and 9); this class owns
+/// storage and the counters the paper reports (#SharedMem, #AvgReaders).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "futrace/runtime/observer.hpp"
+#include "futrace/support/ptr_map.hpp"
+
+namespace futrace::detect {
+
+/// Interned source position (index into site_table).
+using site_id = std::uint32_t;
+
+/// Interns access_site values; hot loops hit the one-entry cache because
+/// consecutive accesses come from the same statement.
+class site_table {
+ public:
+  site_table() { sites_.push_back(access_site{"<unknown>", 0}); }
+
+  site_id intern(access_site site) {
+    if (site.file == last_file_ && site.line == last_line_) return last_id_;
+    const std::uint64_t key =
+        (reinterpret_cast<std::uint64_t>(site.file) << 16) ^ site.line;
+    auto [it, inserted] = index_.try_emplace(
+        key, static_cast<site_id>(sites_.size()));
+    if (inserted) sites_.push_back(site);
+    last_file_ = site.file;
+    last_line_ = site.line;
+    last_id_ = it->second;
+    return it->second;
+  }
+
+  access_site resolve(site_id id) const {
+    return id < sites_.size() ? sites_[id] : sites_[0];
+  }
+
+ private:
+  std::vector<access_site> sites_;
+  std::unordered_map<std::uint64_t, site_id> index_;
+  const char* last_file_ = nullptr;
+  std::uint32_t last_line_ = 0;
+  site_id last_id_ = 0;
+};
+
+struct reader_entry {
+  task_id task = k_invalid_task;
+  site_id site = 0;
+};
+
+/// 24-byte shadow cell: writer + one inline reader + overflow list.
+struct shadow_cell {
+  task_id writer = k_invalid_task;
+  site_id writer_site = 0;
+  reader_entry reader0;
+  std::vector<reader_entry>* overflow = nullptr;
+
+  std::size_t reader_count() const {
+    if (reader0.task == k_invalid_task) return 0;
+    return 1 + (overflow ? overflow->size() : 0);
+  }
+
+  reader_entry reader_at(std::size_t i) const {
+    return i == 0 ? reader0 : (*overflow)[i - 1];
+  }
+
+  /// O(1) unordered removal: the last entry fills the hole.
+  void remove_reader_at(std::size_t i) {
+    if (overflow && !overflow->empty()) {
+      if (i == 0) {
+        reader0 = overflow->back();
+      } else {
+        (*overflow)[i - 1] = overflow->back();
+      }
+      overflow->pop_back();
+      return;
+    }
+    reader0 = reader_entry{};
+  }
+
+  void add_reader(reader_entry e) {
+    if (reader0.task == k_invalid_task) {
+      reader0 = e;
+      return;
+    }
+    if (!overflow) overflow = new std::vector<reader_entry>();
+    overflow->push_back(e);
+  }
+};
+static_assert(sizeof(shadow_cell) <= 24);
+
+class shadow_memory {
+ public:
+  shadow_memory() = default;
+  shadow_memory(shadow_memory&&) noexcept = default;
+  shadow_memory& operator=(shadow_memory&&) noexcept = default;
+
+  ~shadow_memory() {
+    cells_.for_each([](const void*, shadow_cell& cell) {
+      delete cell.overflow;
+      cell.overflow = nullptr;
+    });
+  }
+
+  /// Finds or creates the cell for a location, counting the access and the
+  /// readers currently stored (the paper's #AvgReaders statistic samples the
+  /// reader-set size at every read/write).
+  shadow_cell& access(const void* addr) {
+    shadow_cell& cell = cells_[addr];
+    ++accesses_;
+    readers_sampled_ += cell.reader_count();
+    return cell;
+  }
+
+  /// Number of distinct locations touched.
+  std::size_t location_count() const noexcept { return cells_.size(); }
+
+  /// Total read+write accesses observed (the paper's #SharedMem).
+  std::uint64_t access_count() const noexcept { return accesses_; }
+
+  /// Mean reader-set size over all accesses (the paper's #AvgReaders).
+  double average_readers() const noexcept {
+    return accesses_ == 0 ? 0.0
+                          : static_cast<double>(readers_sampled_) /
+                                static_cast<double>(accesses_);
+  }
+
+  /// Largest reader set ever sampled (diagnostics; bounded by the number of
+  /// future tasks, per the space bound of Theorem 1).
+  std::uint64_t max_readers() const noexcept { return max_readers_; }
+
+  void note_reader_count(std::size_t n) {
+    if (n > max_readers_) max_readers_ = n;
+  }
+
+  /// Approximate heap footprint: table plus spilled reader vectors.
+  std::size_t memory_bytes() const {
+    std::size_t bytes = cells_.table_bytes();
+    cells_.for_each([&bytes](const void*, const shadow_cell& cell) {
+      if (cell.overflow) {
+        bytes += sizeof(*cell.overflow) +
+                 cell.overflow->capacity() * sizeof(reader_entry);
+      }
+    });
+    return bytes;
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    cells_.for_each(std::forward<Fn>(fn));
+  }
+
+ private:
+  support::ptr_map<shadow_cell> cells_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t readers_sampled_ = 0;
+  std::uint64_t max_readers_ = 0;
+};
+
+}  // namespace futrace::detect

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file labels.hpp
+/// Interval labels for the dynamic spawn tree (paper §4.1, "Interval encoding
+/// of spawn tree"). Every task receives a preorder value when it is spawned
+/// and a *temporary* postorder value counting down from MAXINT; the final
+/// postorder value is assigned when the task terminates. With this scheme the
+/// ancestor relation in the spawn tree is exactly interval subsumption, even
+/// while the tree is still unfolding:
+///
+///   ancestor(x, y)  ⟺  x.pre ≤ y.pre  ∧  y.post ≤ x.post
+///
+/// Live tasks form a root-to-cursor chain in a depth-first execution, so the
+/// temporary values MAXINT, MAXINT-1, ... strictly decrease with depth and
+/// exceed every final postorder value drawn from the (much smaller) dfid
+/// counter. Algorithm 3 increments the temporary counter back on termination,
+/// recycling temporary ids as the DFS stack pops.
+
+#include <cstdint>
+#include <limits>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::dsr {
+
+/// A [pre, post] interval from the spawn-tree numbering.
+struct interval_label {
+  std::uint64_t pre = 0;
+  std::uint64_t post = 0;
+
+  /// True iff this label's interval contains `other`'s (i.e. the task owning
+  /// this label is an ancestor-or-self of the task owning `other`).
+  constexpr bool subsumes(const interval_label& other) const noexcept {
+    return pre <= other.pre && other.post <= post;
+  }
+
+  friend constexpr bool operator==(const interval_label&,
+                                   const interval_label&) = default;
+};
+
+/// Allocates interval labels on the fly during a depth-first execution
+/// (Algorithms 1–3 of the paper).
+class label_allocator {
+ public:
+  /// Called when a task is spawned: assigns the next preorder value and a
+  /// temporary postorder value.
+  interval_label on_spawn() {
+    FUTRACE_CHECK_MSG(dfid_ < tmpid_,
+                      "label space exhausted: dfid collided with tmpid");
+    interval_label label{dfid_, tmpid_};
+    ++dfid_;
+    --tmpid_;
+    return label;
+  }
+
+  /// Called when a task terminates: returns the final postorder value and
+  /// recycles one temporary id.
+  std::uint64_t on_terminate() {
+    const std::uint64_t post = dfid_;
+    ++dfid_;
+    ++tmpid_;
+    FUTRACE_DCHECK(tmpid_ <= k_max_tmpid);
+    return post;
+  }
+
+  /// Number of pre/post ids handed out so far (diagnostics).
+  std::uint64_t ids_assigned() const noexcept { return dfid_; }
+
+  /// Depth of the live-task chain implied by outstanding temporary ids.
+  std::uint64_t live_depth() const noexcept { return k_max_tmpid - tmpid_; }
+
+ private:
+  static constexpr std::uint64_t k_max_tmpid =
+      std::numeric_limits<std::uint64_t>::max();
+
+  std::uint64_t dfid_ = 0;        // shared pre/post counter, counting up
+  std::uint64_t tmpid_ = k_max_tmpid;  // temporary postorder, counting down
+};
+
+}  // namespace futrace::dsr

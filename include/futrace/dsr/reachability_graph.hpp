@@ -1,0 +1,149 @@
+#pragma once
+
+/// \file reachability_graph.hpp
+/// The dynamic task reachability graph (paper §4.1, Definition 1): the
+/// compact, task-level encoding of computation-graph reachability that the
+/// race detector queries on every shadow-memory check.
+///
+/// R = (N, D, L, P, A) where
+///   N — one vertex per dynamic task,
+///   D — disjoint sets of tasks connected by tree-join + continue edges
+///       (union-find),
+///   L — interval labels from the spawn-tree pre/post numbering, one label
+///       per disjoint set (the label of the set member closest to the root),
+///   P — per-set list of non-tree join predecessors,
+///   A — per-set lowest significant ancestor (LSA): the nearest ancestor task
+///       whose set has at least one incoming non-tree join edge.
+///
+/// The structure is driven by five events from the serial depth-first
+/// execution (Algorithms 1–7) and answers PRECEDE queries (Algorithm 10).
+/// PRECEDE(a, b) is only meaningful when invoked while task `b` is the
+/// currently executing task and `a` executed (was spawned) earlier in the
+/// depth-first order — exactly the shape of every query issued by the race
+/// detector (Lemmas 5 and 6 of the paper).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "futrace/dsr/labels.hpp"
+#include "futrace/support/assert.hpp"
+#include "futrace/support/small_vector.hpp"
+
+namespace futrace::dsr {
+
+/// Dense task identifier; tasks are numbered in spawn (preorder) order.
+using task_id = std::uint32_t;
+
+inline constexpr task_id k_invalid_task = 0xFFFFFFFFu;
+
+/// Aggregate statistics, exposed for the Table 2 counters and the
+/// micro/ablation benchmarks.
+struct reachability_stats {
+  std::uint64_t tasks_created = 0;
+  std::uint64_t tree_joins = 0;      // merges (get-as-tree-join + IEF joins)
+  std::uint64_t non_tree_joins = 0;  // the paper's #NTJoins
+  std::uint64_t precede_queries = 0;
+  std::uint64_t visit_steps = 0;      // path nodes examined across all queries
+  std::uint64_t nt_edges_walked = 0;  // non-tree edges traversed
+  std::uint64_t lsa_hops = 0;         // significant-ancestor chain hops
+};
+
+class reachability_graph {
+ public:
+  reachability_graph();
+
+  reachability_graph(const reachability_graph&) = delete;
+  reachability_graph& operator=(const reachability_graph&) = delete;
+  reachability_graph(reachability_graph&&) noexcept = default;
+  reachability_graph& operator=(reachability_graph&&) noexcept = default;
+
+  /// Algorithm 1: creates the root (main) task. Must be the first call.
+  task_id create_root();
+
+  /// Algorithm 2: task `parent` spawns a new task. Returns the child's id.
+  task_id create_task(task_id parent);
+
+  /// Algorithm 3: task `t` terminated; finalize its set's postorder value.
+  void on_terminate(task_id t);
+
+  /// Algorithm 4: task `waiter` performed get() on completed task `target`.
+  /// Returns true if the join was a tree join (sets merged), false if a
+  /// non-tree join edge was recorded.
+  bool on_get(task_id waiter, task_id target);
+
+  /// Algorithm 6 (one iteration): at the end of a finish owned by `owner`,
+  /// task `joined` (whose IEF just ended) merges into the owner's set.
+  void on_finish_join(task_id owner, task_id joined);
+
+  /// Algorithm 10: true iff every step of `a` that has already executed must
+  /// precede the current step of `b`. `a == k_invalid_task` (no previous
+  /// writer) returns true. Non-const: advances the query epoch and applies
+  /// path compression.
+  bool precedes(task_id a, task_id b);
+
+  // -- Introspection (tests, benchmarks, DOT dumps) --------------------------
+
+  std::size_t task_count() const noexcept { return nodes_.size(); }
+  bool same_set(task_id a, task_id b) { return find(a) == find(b); }
+  interval_label set_label(task_id t) { return nodes_[find(t)].label; }
+  task_id spawn_parent(task_id t) const { return nodes_[t].spawn_parent; }
+  bool terminated(task_id t) const { return nodes_[t].terminated; }
+
+  /// The set's lowest significant ancestor, or k_invalid_task.
+  task_id set_lsa(task_id t) { return nodes_[find(t)].lsa; }
+
+  /// Copy of the set's non-tree predecessor list.
+  std::vector<task_id> set_non_tree_predecessors(task_id t);
+
+  /// True iff `ancestor`'s interval subsumes `descendant`'s in the spawn
+  /// tree (uses per-task labels, not set labels).
+  bool is_spawn_ancestor(task_id ancestor, task_id descendant) const {
+    return nodes_[ancestor].own_label.subsumes(nodes_[descendant].own_label);
+  }
+
+  const reachability_stats& stats() const noexcept { return stats_; }
+
+  /// Approximate heap footprint in bytes (for the baseline-comparison bench).
+  std::size_t memory_bytes() const;
+
+  /// GraphViz rendering of the reachability graph's current state: one node
+  /// per disjoint set (labelled with its interval and members), non-tree
+  /// predecessor edges, and dashed LSA pointers — the paper's Fig. 3 view.
+  std::string to_dot();
+
+ private:
+  struct node {
+    // Immutable spawn-tree facts.
+    task_id spawn_parent = k_invalid_task;
+    interval_label own_label;  // the task's own label, never updated by merges
+    bool terminated = false;
+
+    std::uint32_t uf_size = 1;  // union-find size, valid at representatives
+
+    // Set metadata; authoritative only at the representative.
+    interval_label label;
+    support::small_vector<task_id, 2> nt;  // non-tree predecessors
+    task_id lsa = k_invalid_task;
+
+    // Query epoch stamps (avoid revisits inside one PRECEDE call).
+    std::uint64_t path_epoch = 0;
+    std::uint64_t lsa_scan_epoch = 0;
+  };
+
+  task_id find(task_id t);
+  void merge(task_id ancestor_side, task_id descendant_side);
+  bool visit(task_id a, task_id ra, task_id start);
+
+  // Union-find parent links live in their own dense array so find() touches
+  // 4 bytes per hop instead of a full node (every PRECEDE query starts with
+  // one or two finds; this is the hottest pointer chase in the detector).
+  std::vector<task_id> uf_parent_;
+  std::vector<node> nodes_;
+  label_allocator labels_;
+  std::uint64_t query_epoch_ = 0;
+  reachability_stats stats_;
+};
+
+}  // namespace futrace::dsr

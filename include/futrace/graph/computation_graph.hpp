@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file computation_graph.hpp
+/// Full computation-graph recorder (paper §3). Each node is a *step*: a
+/// maximal sequence of statement instances containing no task boundary, get,
+/// or finish boundary. Edges are continue, spawn, and join edges (tree,
+/// non-tree, and finish joins).
+///
+/// The race detector never builds this graph — its whole point is the compact
+/// reachability encoding in futrace::dsr. The recorder exists as the *oracle*:
+/// property tests replay a program through both the detector and this graph
+/// and require identical per-location race verdicts (Theorem 2), and the
+/// examples export DOT renderings of the paper's figures.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::graph {
+
+using step_id = std::uint32_t;
+using task_id = std::uint32_t;
+
+inline constexpr step_id k_invalid_step = 0xFFFFFFFFu;
+
+enum class edge_kind : std::uint8_t {
+  continuation,    // sequencing of steps within one task
+  spawn,           // parent's spawning step -> child's first step
+  join_tree,       // last step of task -> ancestor, via get() or finish
+  join_non_tree,   // last step of task -> non-ancestor, via get()
+};
+
+const char* edge_kind_name(edge_kind kind);
+
+struct edge {
+  step_id from;
+  step_id to;
+  edge_kind kind;
+};
+
+class computation_graph {
+ public:
+  /// Creates a step belonging to `task`. Steps must be created in execution
+  /// (serial depth-first) order; ids are consequently a topological order.
+  step_id add_step(task_id task);
+
+  /// Adds an edge; `from < to` is required (all computation-graph edges point
+  /// forward in depth-first execution order).
+  void add_edge(step_id from, step_id to, edge_kind kind);
+
+  std::size_t step_count() const noexcept { return step_tasks_.size(); }
+  std::size_t edge_count() const noexcept { return edges_.size(); }
+  task_id task_of(step_id s) const { return step_tasks_[s]; }
+  const std::vector<edge>& edges() const noexcept { return edges_; }
+
+  /// True iff there is a directed path from `from` to `to` (the paper's
+  /// u ≺ v). Reflexive: reachable(s, s) is true.
+  bool reachable(step_id from, step_id to) const;
+
+  /// True iff the two steps may logically execute in parallel (u ∥ v):
+  /// distinct steps with no path either way.
+  bool parallel(step_id u, step_id v) const {
+    return u != v && !reachable(u, v) && !reachable(v, u);
+  }
+
+  /// Number of join edges of the given kind (for test assertions).
+  std::size_t count_edges(edge_kind kind) const;
+
+  /// GraphViz rendering; steps are grouped into one cluster per task.
+  /// `task_names` may be empty (tasks are then labelled T0, T1, ...).
+  std::string to_dot(const std::vector<std::string>& task_names = {}) const;
+
+ private:
+  std::vector<task_id> step_tasks_;
+  std::vector<edge> edges_;
+  std::vector<std::vector<step_id>> successors_;
+  // Scratch for reachability queries; epoch stamps avoid clearing.
+  mutable std::vector<std::uint64_t> visit_epoch_;
+  mutable std::uint64_t epoch_ = 0;
+};
+
+}  // namespace futrace::graph

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file graph_recorder.hpp
+/// Observer that reconstructs the full computation graph (steps + edges,
+/// paper §3) from a serial depth-first execution. Steps are split exactly at
+/// the boundaries of Definition 1: async start/end, finish start/end, and
+/// get() operations.
+
+#include <vector>
+
+#include "futrace/graph/computation_graph.hpp"
+#include "futrace/runtime/observer.hpp"
+
+namespace futrace::graph {
+
+class graph_recorder : public execution_observer {
+ public:
+  // -- execution_observer ----------------------------------------------------
+  void on_program_start(futrace::task_id root) override;
+  void on_task_spawn(futrace::task_id parent, futrace::task_id child,
+                     task_kind kind) override;
+  void on_task_end(futrace::task_id t) override;
+  void on_finish_start(futrace::task_id owner) override;
+  void on_finish_end(futrace::task_id owner,
+                     std::span<const futrace::task_id> joined) override;
+  void on_get(futrace::task_id waiter, futrace::task_id target) override;
+
+  // -- results ----------------------------------------------------------------
+  const computation_graph& graph() const noexcept { return graph_; }
+
+  /// The step currently open for task `t` (its last step once terminated).
+  step_id current_step(futrace::task_id t) const {
+    return current_step_[t];
+  }
+
+  /// The final step of a terminated task (join edges originate here).
+  step_id last_step(futrace::task_id t) const { return current_step_[t]; }
+
+  futrace::task_id spawn_parent(futrace::task_id t) const {
+    return parent_[t];
+  }
+
+  task_kind kind_of(futrace::task_id t) const { return kinds_[t]; }
+
+  /// True iff `a` is a spawn-tree ancestor of `d` (strictly; a != d).
+  bool is_ancestor(futrace::task_id a, futrace::task_id d) const;
+
+  std::size_t task_count() const noexcept { return parent_.size(); }
+
+ private:
+  /// Opens a fresh step for `t`, adding a continue edge from its previous
+  /// step, and returns the new step.
+  step_id advance_step(futrace::task_id t);
+
+  computation_graph graph_;
+  std::vector<step_id> current_step_;
+  std::vector<futrace::task_id> parent_;
+  std::vector<task_kind> kinds_;
+  std::vector<futrace::task_id> task_stack_;
+};
+
+}  // namespace futrace::graph

@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file random_program.hpp
+/// Random async/finish/future program generator for property testing. A
+/// generated program is a deterministic function of its configuration (the
+/// serial depth-first execution order fixes the RNG consumption order), so
+/// the same config replays the same program — which lets the test harness
+/// run it under the paper's detector and under the brute-force oracle and
+/// compare verdicts (Theorem 2).
+///
+/// Handle-flow discipline. The paper's precision argument (Lemma 1 / Lemma 5)
+/// assumes future references reach get() sites through race-free flows: a
+/// task may only hold a handle it created, received by value at its own
+/// spawn, or obtained from a future it joined. The generator supports two
+/// modes:
+///
+///  - safe_handles = true (default): handles flow exactly by those rules —
+///    every body snapshots its parent's visible handles at spawn, and a
+///    get() imports the handles the joined future could have returned. Under
+///    this discipline the detector must match the step-level oracle
+///    *per location*.
+///
+///  - safe_handles = false: any task may get() any already-completed future;
+///    the handle travels through an *instrumented* registry slot (one shared
+///    write at creation, one shared read before each get), exactly what the
+///    paper's bytecode instrumentation would see for a future reference in a
+///    heap cell. Illegal flows then surface as races on the registry slots,
+///    preserving the program-level verdict — but the per-location guarantee
+///    for the ordinary variables degrades (the detector's reachability may
+///    over-order tasks joined through racy handles), which the property
+///    suite checks in its weakened form.
+
+#include <cstdint>
+#include <vector>
+
+#include "futrace/runtime/runtime.hpp"
+#include "futrace/support/rng.hpp"
+
+namespace futrace::progen {
+
+struct progen_config {
+  std::uint64_t seed = 1;
+
+  int max_depth = 4;      // nesting depth of spawned bodies
+  int min_stmts = 2;      // statements per body
+  int max_stmts = 8;
+  int num_vars = 8;       // shared variables
+  int max_tasks = 400;    // hard cap on spawned tasks
+
+  // Relative action weights inside a body.
+  double w_read = 4.0;
+  double w_write = 3.0;
+  double w_async = 1.2;
+  double w_future = 1.4;
+  double w_finish = 0.8;
+  double w_get = 1.8;
+  double w_promise = 0.5;      // create a promise handle
+  double w_put = 0.9;          // fulfill a visible unfulfilled promise
+  double w_promise_get = 0.9;  // join a visible fulfilled promise
+
+  bool safe_handles = true;  // see file comment; promises always flow safely
+};
+
+struct progen_stats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t asyncs = 0;
+  std::uint64_t futures = 0;
+  std::uint64_t finishes = 0;
+  std::uint64_t promises = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t promise_gets = 0;
+};
+
+class random_program {
+ public:
+  explicit random_program(progen_config config);
+
+  /// The main-task body; pass to runtime::run. Resets internal state first,
+  /// so one object can be executed several times (e.g. once per detector).
+  void operator()();
+
+  const progen_stats& stats() const noexcept { return stats_; }
+
+  /// Addresses of the shared variables (for mapping verdicts to var names).
+  const void* var_address(int i) const { return vars_.address(i); }
+  int num_vars() const { return config_.num_vars; }
+
+ private:
+  using handle_set = std::vector<std::uint32_t>;
+
+  /// Future and promise handles a task may legally use (value flow).
+  struct visible_state {
+    handle_set futures;
+    handle_set promises;
+  };
+
+  struct pool_entry {
+    future<int> f;
+    /// Handles this future could legally have returned: its visible set at
+    /// completion. Imported by safe-mode getters.
+    visible_state exported;
+  };
+
+  void body(int depth, visible_state& visible);
+  bool pick_get_target(const visible_state& visible, std::uint32_t& out);
+
+  progen_config config_;
+  shared_array<int> vars_;
+  std::vector<pool_entry> pool_;
+  std::vector<promise<int>> promises_;
+  shared_array<future<int>> registry_;  // instrumented handle cells (unsafe)
+  support::xoshiro256 rng_;
+  int tasks_spawned_ = 0;
+  progen_stats stats_;
+};
+
+}  // namespace futrace::progen

@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file api.hpp
+/// The user-facing task-parallel constructs (paper §2) and the runtime object
+/// that hosts an execution:
+///
+///   futrace::runtime rt({.mode = futrace::exec_mode::serial_dfs});
+///   rt.add_observer(&detector);
+///   rt.run([] {
+///     futrace::finish([] {
+///       futrace::async([] { ... });
+///       auto f = futrace::async_future([] { return 42; });
+///       int v = f.get();
+///     });
+///   });
+///
+/// In elision mode the same program runs as its serial elision; in parallel
+/// mode it runs on a work-stealing pool. The construct templates dispatch on
+/// the ambient engine, so workload code is written once.
+
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "futrace/runtime/engine.hpp"
+#include "futrace/runtime/future.hpp"
+
+namespace futrace {
+
+/// Spawns an async child task executing `fn`. The child's joins happen at the
+/// end of its Immediately Enclosing Finish.
+template <typename Fn>
+void async(Fn&& fn) {
+  detail::engine& eng = detail::require_engine();
+  switch (eng.mode()) {
+    case exec_mode::serial_elision:
+      std::forward<Fn>(fn)();
+      return;
+    case exec_mode::serial_dfs: {
+      detail::spawn_scope scope(eng, task_kind::async);
+      std::forward<Fn>(fn)();
+      return;
+    }
+    case exec_mode::parallel:
+      eng.parallel_spawn(std::function<void()>(std::forward<Fn>(fn)));
+      return;
+  }
+}
+
+/// Spawns a future task evaluating `fn` and returns a handle to its result.
+/// Exceptions thrown by `fn` are captured and rethrown from get().
+template <typename Fn>
+auto async_future(Fn&& fn) {
+  using T = std::invoke_result_t<std::decay_t<Fn>&>;
+  detail::engine& eng = detail::require_engine();
+  auto state = std::make_shared<detail::future_state<T>>();
+
+  auto evaluate = [](detail::future_state<T>& st, auto& body) {
+    try {
+      if constexpr (std::is_void_v<T>) {
+        body();
+      } else {
+        st.value.emplace(body());
+      }
+      st.publish(detail::future_state_base::k_ready);
+    } catch (...) {
+      st.error = std::current_exception();
+      st.publish(detail::future_state_base::k_failed);
+    }
+  };
+
+  switch (eng.mode()) {
+    case exec_mode::serial_elision: {
+      auto body = std::forward<Fn>(fn);
+      evaluate(*state, body);
+      break;
+    }
+    case exec_mode::serial_dfs: {
+      detail::spawn_scope scope(eng, task_kind::future);
+      state->task = scope.child();
+      auto body = std::forward<Fn>(fn);
+      evaluate(*state, body);
+      break;
+    }
+    case exec_mode::parallel: {
+      eng.parallel_spawn(
+          [state, body = std::decay_t<Fn>(std::forward<Fn>(fn)),
+           evaluate]() mutable { evaluate(*state, body); });
+      break;
+    }
+  }
+  return future<T>(state);
+}
+
+/// Executes `fn` and waits for every task (transitively) spawned within it.
+template <typename Fn>
+void finish(Fn&& fn) {
+  detail::engine& eng = detail::require_engine();
+  if (eng.mode() == exec_mode::serial_elision) {
+    std::forward<Fn>(fn)();
+    return;
+  }
+  eng.finish_begin();
+  try {
+    std::forward<Fn>(fn)();
+  } catch (...) {
+    eng.finish_end();
+    throw;
+  }
+  eng.finish_end();
+}
+
+/// The dense id of the currently executing task (serial modes), or
+/// k_invalid_task in elision/parallel modes.
+inline task_id current_task() {
+  return detail::require_engine().current_task();
+}
+
+struct runtime_config {
+  exec_mode mode = exec_mode::serial_dfs;
+  /// Worker-thread count for parallel mode; 0 means hardware concurrency.
+  unsigned workers = 0;
+};
+
+/// Hosts one program execution. Observers (race detectors, computation-graph
+/// recorders) may be attached before run() in serial_dfs mode.
+class runtime {
+ public:
+  explicit runtime(runtime_config config = {});
+  ~runtime();
+
+  runtime(const runtime&) = delete;
+  runtime& operator=(const runtime&) = delete;
+
+  /// Attaches an observer; only legal in serial_dfs mode, before run().
+  /// Observers are invoked in attachment order and must outlive the runtime.
+  void add_observer(execution_observer* observer);
+
+  /// Executes `main_fn` as the root task inside the implicit whole-program
+  /// finish. May be called once per runtime instance. Exceptions from the
+  /// program propagate after the engine unwinds.
+  void run(const std::function<void()>& main_fn);
+
+  exec_mode mode() const noexcept { return config_.mode; }
+
+  /// Total tasks created, including the root (the paper's #Tasks counts
+  /// spawned tasks, i.e. this minus one).
+  std::uint64_t tasks_spawned() const;
+
+ private:
+  runtime_config config_;
+  std::vector<execution_observer*> observers_;
+  std::unique_ptr<detail::engine> engine_;
+  bool ran_ = false;
+};
+
+}  // namespace futrace

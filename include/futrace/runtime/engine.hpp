@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file engine.hpp
+/// Internal execution-engine interface behind the public async/finish/future
+/// API. Three engines implement it:
+///
+///  - elision_engine:  the serial elision (paper §A.1) — every construct is
+///                     erased, bodies run inline, zero bookkeeping. This is
+///                     the "Seq" baseline of Table 2.
+///  - serial_engine:   serial depth-first execution with task bookkeeping and
+///                     observer events. With a race detector attached this is
+///                     the "Racedet" configuration of Table 2.
+///  - parallel_engine: work-stealing parallel execution (no observers; the
+///                     detection algorithm requires depth-first order).
+///
+/// User code never touches this header's types directly; the templates in
+/// api.hpp and future.hpp dispatch through it.
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <functional>
+
+#include "futrace/runtime/errors.hpp"
+#include "futrace/runtime/observer.hpp"
+
+namespace futrace {
+
+enum class exec_mode : std::uint8_t {
+  serial_elision,  // the paper's Seq baseline
+  serial_dfs,      // depth-first with events (attach a detector for Racedet)
+  parallel,        // work-stealing execution of the same program
+};
+
+const char* exec_mode_name(exec_mode mode);
+
+namespace detail {
+
+/// Type-erased shared state behind future<T>. The value lives in the derived
+/// future_state<T>; this base carries what the engines need.
+struct future_state_base {
+  static constexpr std::uint32_t k_pending = 0;
+  static constexpr std::uint32_t k_ready = 1;
+  static constexpr std::uint32_t k_failed = 2;
+
+  std::atomic<std::uint32_t> status{k_pending};
+  task_id task = k_invalid_task;  // dense id in serial modes
+  std::exception_ptr error;
+
+  virtual ~future_state_base() = default;
+
+  bool settled() const noexcept {
+    return status.load(std::memory_order_acquire) != k_pending;
+  }
+
+  /// Publishes the (already stored) result with release semantics.
+  void publish(std::uint32_t final_status) noexcept {
+    status.store(final_status, std::memory_order_release);
+  }
+
+  /// Rethrows the stored exception if the task failed.
+  void rethrow_if_failed() const {
+    if (status.load(std::memory_order_acquire) == k_failed) {
+      std::rethrow_exception(error);
+    }
+  }
+};
+
+class engine {
+ public:
+  explicit engine(exec_mode mode) : mode_(mode) {}
+  virtual ~engine() = default;
+
+  engine(const engine&) = delete;
+  engine& operator=(const engine&) = delete;
+
+  exec_mode mode() const noexcept { return mode_; }
+
+  /// Runs `main_fn` as the root task inside the implicit whole-program
+  /// finish (paper §2: "There is an implicit finish scope surrounding the
+  /// body of main()").
+  virtual void run_program(const std::function<void()>& main_fn) = 0;
+
+  // -- Serial (inline) spawning; parallel engine rejects these ---------------
+
+  /// Creates a child task of the current task and makes it current. The
+  /// caller must run the body and then call spawn_end() (via RAII guard).
+  virtual task_id spawn_begin(task_kind kind) = 0;
+  virtual void spawn_end() = 0;
+
+  virtual void finish_begin() = 0;
+  virtual void finish_end() = 0;
+
+  // -- Parallel (deferred) spawning; serial engines run via spawn_begin ------
+
+  /// Enqueues a task body for asynchronous execution.
+  virtual void parallel_spawn(std::function<void()> body);
+
+  /// Blocks (or, in serial modes, validates and instruments) a get() on the
+  /// given future state. On return the state is settled.
+  virtual void wait_future(future_state_base& state) = 0;
+
+  /// promise.put(): records the fulfilling task and, in serial DFS mode,
+  /// splits the current task into a continuation (see promise.hpp). The
+  /// value is already stored; this publishes it.
+  virtual void promise_fulfilled(future_state_base& state) = 0;
+
+  /// promise.get(): serial modes throw deadlock_error when unfulfilled (the
+  /// put can no longer precede this step in any depth-first-consistent
+  /// schedule); the parallel engine blocks, helping.
+  virtual void wait_promise(future_state_base& state) = 0;
+
+  /// Fired by shared<T> wrappers on instrumented accesses; only the serial
+  /// DFS engine forwards these to observers.
+  virtual void note_read(const void* addr, std::size_t size,
+                         access_site site) = 0;
+  virtual void note_write(const void* addr, std::size_t size,
+                          access_site site) = 0;
+
+  virtual task_id current_task() const = 0;
+
+  /// Total tasks spawned (including the root), where tracked.
+  virtual std::uint64_t tasks_spawned() const = 0;
+
+ private:
+  exec_mode mode_;
+};
+
+/// Ambient per-thread execution context. Set while runtime::run() is active
+/// on this thread (and on every worker thread in parallel mode).
+struct context {
+  engine* eng = nullptr;
+  bool instrument = false;  // fast-path gate for shared<T> hooks
+};
+
+context& ctx() noexcept;
+
+/// Throws usage_error unless a runtime is active on this thread.
+engine& require_engine();
+
+/// RAII guard pairing spawn_begin/spawn_end across exceptions.
+class spawn_scope {
+ public:
+  spawn_scope(engine& eng, task_kind kind)
+      : eng_(eng), child_(eng.spawn_begin(kind)) {}
+  ~spawn_scope() { eng_.spawn_end(); }
+  spawn_scope(const spawn_scope&) = delete;
+  spawn_scope& operator=(const spawn_scope&) = delete;
+  task_id child() const noexcept { return child_; }
+
+ private:
+  engine& eng_;
+  task_id child_;
+};
+
+}  // namespace detail
+}  // namespace futrace

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file errors.hpp
+/// Exception types thrown by the runtime. Appendix A of the paper shows that
+/// programs with races on future handles can deadlock in some schedules and
+/// raise null-dereference errors in others; the serial depth-first execution
+/// surfaces both as exceptions instead of hanging.
+
+#include <stdexcept>
+#include <string>
+
+namespace futrace {
+
+/// Base class for runtime-reported errors.
+class runtime_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// get() on a future handle that no task was ever assigned to (the serial
+/// analogue of HJ's NullPointerException on an unset future reference), or a
+/// cyclic wait among futures detected by the parallel engine.
+class deadlock_error : public runtime_error {
+ public:
+  using runtime_error::runtime_error;
+};
+
+/// An API call was made outside runtime::run(), or in an execution mode that
+/// does not support it.
+class usage_error : public runtime_error {
+ public:
+  using runtime_error::runtime_error;
+};
+
+}  // namespace futrace

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file future.hpp
+/// future<T>: a handle to the result of an asynchronously evaluated task
+/// (paper §2). Created by futrace::async_future; get() joins the producing
+/// task — the point-to-point synchronization that makes computation graphs
+/// non-strict and motivates the whole paper.
+///
+/// A default-constructed handle is *unset* (the analogue of a null future
+/// reference in HJ); calling get() on it throws deadlock_error, mirroring the
+/// NullPointerException/deadlock behaviours of Appendix A.
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "futrace/runtime/engine.hpp"
+#include "futrace/runtime/errors.hpp"
+
+namespace futrace {
+
+namespace detail {
+
+template <typename T>
+struct future_state final : future_state_base {
+  std::optional<T> value;
+};
+
+template <>
+struct future_state<void> final : future_state_base {};
+
+}  // namespace detail
+
+template <typename T>
+class future {
+ public:
+  /// An unset handle; get() on it throws deadlock_error.
+  future() = default;
+
+  /// True iff the handle refers to a task (set handles only become unset by
+  /// assignment from an unset handle).
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// True iff the producing task has completed (success or failure).
+  bool is_done() const noexcept { return state_ && state_->settled(); }
+
+  /// The dense id of the producing task in serial executions, or
+  /// k_invalid_task in elision/parallel modes.
+  task_id task() const noexcept {
+    return state_ ? state_->task : k_invalid_task;
+  }
+
+  /// Joins the producing task and returns its result. Inside a serial DFS
+  /// execution this records the join with every attached observer (the race
+  /// detector's Algorithm 4); inside a parallel execution it blocks, helping
+  /// execute other tasks while waiting. Rethrows any exception the task
+  /// body raised.
+  T get() const {
+    wait();
+    state_->rethrow_if_failed();
+    if constexpr (!std::is_void_v<T>) {
+      return *state_->value;
+    }
+  }
+
+ private:
+  template <typename Fn>
+  friend auto async_future(Fn&& fn);
+
+  explicit future(std::shared_ptr<detail::future_state<T>> state)
+      : state_(std::move(state)) {}
+
+  void wait() const {
+    if (!state_) {
+      throw deadlock_error(
+          "get() on an unset future handle: in some schedule of this program "
+          "the handle is still null here, which deadlocks or faults "
+          "(paper Appendix A)");
+    }
+    detail::context& c = detail::ctx();
+    if (c.eng != nullptr) {
+      c.eng->wait_future(*state_);
+    } else if (!state_->settled()) {
+      throw usage_error(
+          "get() outside runtime::run() on a future that is not complete");
+    }
+  }
+
+  std::shared_ptr<detail::future_state<T>> state_;
+};
+
+}  // namespace futrace

@@ -1,0 +1,106 @@
+#pragma once
+
+/// \file observer.hpp
+/// Event interface between the task runtime and its instrumentation clients.
+/// The race detector (futrace::detect), the computation-graph recorder
+/// (futrace::graph driven by graph_recorder), and the baseline detectors all
+/// implement this interface and attach to a serial depth-first execution.
+///
+/// The event stream mirrors exactly the points where the paper's algorithm
+/// acts: task creation, task termination, get(), finish start/end, and shared
+/// memory reads/writes. Parallel executions fire no events (the paper's
+/// detector runs on a 1-processor depth-first execution).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace futrace {
+
+/// Dense task identifier assigned in spawn (preorder) order; the root task is
+/// always 0. Matches futrace::dsr::task_id by construction.
+using task_id = std::uint32_t;
+inline constexpr task_id k_invalid_task = 0xFFFFFFFFu;
+
+enum class task_kind : std::uint8_t {
+  root,    // the implicit main task
+  async,   // async { S } — joined only via its Immediately Enclosing Finish
+  future,  // async<T> Expr — additionally joinable via get()
+  /// The tail of a task that fulfilled a promise: promise.put() splits the
+  /// current task so that the promise's join edge targets a task whose last
+  /// step is the put (see promise.hpp). Continuations run inline, join the
+  /// same finish their original task does, and behave like asyncs otherwise.
+  continuation,
+};
+
+const char* task_kind_name(task_kind kind);
+
+/// Source position of an instrumented access, for race reports.
+struct access_site {
+  const char* file = "?";
+  std::uint32_t line = 0;
+};
+
+class execution_observer {
+ public:
+  virtual ~execution_observer() = default;
+
+  /// The root task was created. Fired once, before any other event.
+  virtual void on_program_start(task_id root) { (void)root; }
+
+  /// `parent` spawned `child`; the child's body is about to run. For the
+  /// root, on_program_start is fired instead.
+  virtual void on_task_spawn(task_id parent, task_id child, task_kind kind) {
+    (void)parent;
+    (void)child;
+    (void)kind;
+  }
+
+  /// Task `t` finished executing its body.
+  virtual void on_task_end(task_id t) { (void)t; }
+
+  /// Task `owner` entered a finish scope.
+  virtual void on_finish_start(task_id owner) { (void)owner; }
+
+  /// The finish scope ended; `joined` lists every task whose Immediately
+  /// Enclosing Finish this was, in spawn order. All of them have terminated.
+  virtual void on_finish_end(task_id owner, std::span<const task_id> joined) {
+    (void)owner;
+    (void)joined;
+  }
+
+  /// Task `waiter` performed get() on the completed future task `target`,
+  /// or on a promise fulfilled by `target` (the pre-put identity).
+  virtual void on_get(task_id waiter, task_id target) {
+    (void)waiter;
+    (void)target;
+  }
+
+  /// Task `fulfiller` fulfilled a promise (immediately before the engine
+  /// splits it into a continuation). Detectors use this to mark the task as
+  /// joinable-by-get for shadow-memory purposes.
+  virtual void on_promise_put(task_id fulfiller) { (void)fulfiller; }
+
+  /// Task `t` read `size` bytes at `addr`.
+  virtual void on_read(task_id t, const void* addr, std::size_t size,
+                       access_site site) {
+    (void)t;
+    (void)addr;
+    (void)size;
+    (void)site;
+  }
+
+  /// Task `t` wrote `size` bytes at `addr`.
+  virtual void on_write(task_id t, const void* addr, std::size_t size,
+                        access_site site) {
+    (void)t;
+    (void)addr;
+    (void)size;
+    (void)site;
+  }
+
+  /// The root task's implicit finish ended and the program is complete.
+  virtual void on_program_end() {}
+};
+
+}  // namespace futrace

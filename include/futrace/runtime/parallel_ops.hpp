@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file parallel_ops.hpp
+/// Loop- and reduction-level conveniences built on async/finish, in the
+/// spirit of HJ's forasync and finish accumulators. Nothing here extends the
+/// detection algorithm: async_for lowers to a divide-and-conquer spawn tree
+/// of plain asyncs, and accumulator keeps runtime-private per-contribution
+/// state, so race-free-by-construction reductions do not trip the detector
+/// the way a shared accumulation cell would.
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+#include "futrace/runtime/api.hpp"
+#include "futrace/support/assert.hpp"
+
+namespace futrace {
+
+/// Executes body(i) for every i in [begin, end) as a balanced spawn tree of
+/// async tasks; ranges of at most `grain` iterations run sequentially inside
+/// one task. Must be called inside a finish (or rely on the caller's IEF) —
+/// like any async, completion is only guaranteed once the enclosing finish
+/// ends. In elision mode this is a plain loop.
+template <typename Body>
+void async_for(std::size_t begin, std::size_t end, std::size_t grain,
+               Body body) {
+  FUTRACE_CHECK_MSG(grain >= 1, "grain must be at least 1");
+  if (begin >= end) return;
+  if (end - begin <= grain) {
+    async([begin, end, body] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+    return;
+  }
+  const std::size_t mid = begin + (end - begin) / 2;
+  async([begin, mid, grain, body] { async_for(begin, mid, grain, body); });
+  async_for(mid, end, grain, body);
+}
+
+/// Convenience: finish { async_for(...) } — returns once every iteration
+/// completed.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Body body) {
+  finish([&] { async_for(begin, end, grain, body); });
+}
+
+/// A commutative-associative reduction cell in the spirit of HJ's finish
+/// accumulators: any task may contribute(); the result is well-defined once
+/// all contributing tasks have been joined (typically by the enclosing
+/// finish). Contributions synchronize internally, so they are not
+/// determinacy races — unlike accumulating into a shared<T> cell, which the
+/// detector would (rightly) flag.
+///
+/// T must be an arithmetic-like type supported by std::atomic's
+/// compare-exchange loop.
+template <typename T, typename Op>
+class accumulator {
+ public:
+  explicit accumulator(T identity, Op op = Op{})
+      : identity_(identity), op_(op), value_(identity) {}
+
+  /// Folds `v` into the accumulator. Safe from any task in any mode.
+  void contribute(T v) {
+    T current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, op_(current, v),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Reads the reduced value. Meaningful once contributing tasks are joined.
+  T get() const { return value_.load(std::memory_order_acquire); }
+
+  /// Resets to the identity element.
+  void reset() { value_.store(identity_, std::memory_order_release); }
+
+ private:
+  T identity_;
+  Op op_;
+  std::atomic<T> value_;
+};
+
+}  // namespace futrace

@@ -1,0 +1,111 @@
+#pragma once
+
+/// \file promise.hpp
+/// promise<T>: a single-assignment cell fulfilled by put() from *any* task
+/// and awaited by get() — the "promise" of paper §2 ("A future (or promise)
+/// refers to an object that acts as a proxy for a result..."), known in
+/// Habanero as a data-driven future. Unlike a future task, the producer is
+/// not a dedicated task: put() may happen in the middle of a task that then
+/// keeps running.
+///
+/// Mid-task fulfillment is what makes promises interesting for the
+/// detector: the join edge created by get() originates at the *put point*,
+/// not at the producer's last step, so task-granularity reachability (which
+/// joins whole tasks) would over-order the producer's post-put code. The
+/// serial engine therefore *splits* the fulfilling task at put(): the rest
+/// of its body runs as a fresh continuation task (task_kind::continuation,
+/// an inline child that joins the same finish the original task does), and
+/// the promise records the pre-put identity as its fulfiller. The detector
+/// then treats a promise join exactly like a future join on a task whose
+/// last step is the put — no new reachability machinery needed, and the
+/// producer's post-put code stays correctly parallel to the getter.
+///
+/// get() on an unfulfilled promise in the serial engines throws
+/// deadlock_error (in depth-first order the put can no longer happen before
+/// this step, so some schedule deadlocks — the Appendix A argument); the
+/// parallel engine blocks, helping, with the usual stall watchdog.
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "futrace/runtime/engine.hpp"
+#include "futrace/runtime/errors.hpp"
+
+namespace futrace {
+
+namespace detail {
+
+template <typename T>
+struct promise_state final : future_state_base {
+  std::optional<T> value;
+};
+
+template <>
+struct promise_state<void> final : future_state_base {};
+
+}  // namespace detail
+
+template <typename T>
+class promise {
+ public:
+  /// Creates an unfulfilled promise. Handles are copyable and share state.
+  promise() : state_(std::make_shared<detail::promise_state<T>>()) {}
+
+  bool is_fulfilled() const noexcept { return state_->settled(); }
+
+  /// Fulfills the promise. Exactly one put() is allowed; a second throws
+  /// usage_error. Inside a serial DFS execution this splits the current
+  /// task (see file comment).
+  template <typename U = T>
+  void put(U&& value) {
+    if (state_->settled()) {
+      throw usage_error("promise fulfilled twice");
+    }
+    if constexpr (!std::is_void_v<T>) {
+      state_->value.emplace(std::forward<U>(value));
+    }
+    fulfill();
+  }
+
+  void put()
+    requires std::is_void_v<T>
+  {
+    if (state_->settled()) {
+      throw usage_error("promise fulfilled twice");
+    }
+    fulfill();
+  }
+
+  /// Joins the put(): every step of the fulfilling task up to the put
+  /// happens-before the code after get(). Returns the stored value.
+  T get() const {
+    detail::context& c = detail::ctx();
+    if (c.eng != nullptr) {
+      c.eng->wait_promise(*state_);
+    } else if (!state_->settled()) {
+      throw usage_error(
+          "get() outside runtime::run() on an unfulfilled promise");
+    }
+    if constexpr (!std::is_void_v<T>) {
+      return *state_->value;
+    }
+  }
+
+  /// The pre-put identity of the fulfilling task (serial modes).
+  task_id fulfiller() const noexcept { return state_->task; }
+
+ private:
+  void fulfill() {
+    detail::context& c = detail::ctx();
+    if (c.eng != nullptr) {
+      c.eng->promise_fulfilled(*state_);
+    } else {
+      state_->publish(detail::future_state_base::k_ready);
+    }
+  }
+
+  std::shared_ptr<detail::promise_state<T>> state_;
+};
+
+}  // namespace futrace

@@ -1,0 +1,14 @@
+#pragma once
+
+/// \file runtime.hpp
+/// Umbrella header for the futrace task-parallel runtime: async / finish /
+/// future constructs (paper §2), instrumented shared memory, and the runtime
+/// object hosting elision, serial depth-first, and parallel executions.
+
+#include "futrace/runtime/api.hpp"      // IWYU pragma: export
+#include "futrace/runtime/errors.hpp"   // IWYU pragma: export
+#include "futrace/runtime/future.hpp"   // IWYU pragma: export
+#include "futrace/runtime/observer.hpp" // IWYU pragma: export
+#include "futrace/runtime/parallel_ops.hpp"  // IWYU pragma: export
+#include "futrace/runtime/promise.hpp"  // IWYU pragma: export
+#include "futrace/runtime/shared.hpp"   // IWYU pragma: export

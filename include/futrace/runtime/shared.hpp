@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file shared.hpp
+/// Instrumented shared-memory cells. The paper's implementation instruments
+/// reads and writes of instance/static fields and array elements during a
+/// bytecode pass; in C++ the program declares its shared state through these
+/// wrappers and every access reaches the attached observers (and is counted
+/// in #SharedMem). When no instrumenting engine is active the accessors
+/// compile down to plain loads and stores guarded by one thread-local test.
+///
+/// Granularity: one wrapper cell (or one array element) is one "memory
+/// location" in the sense of Definition 3.
+
+#include <cstddef>
+#include <source_location>
+#include <utility>
+#include <vector>
+
+#include "futrace/runtime/engine.hpp"
+
+namespace futrace {
+
+namespace detail {
+
+inline void instrument_read(const void* addr, std::size_t size,
+                            const std::source_location& loc) {
+  const context& c = ctx();
+  if (c.instrument) [[unlikely]] {
+    c.eng->note_read(addr, size,
+                     access_site{loc.file_name(), loc.line()});
+  }
+}
+
+inline void instrument_write(const void* addr, std::size_t size,
+                             const std::source_location& loc) {
+  const context& c = ctx();
+  if (c.instrument) [[unlikely]] {
+    c.eng->note_write(addr, size,
+                      access_site{loc.file_name(), loc.line()});
+  }
+}
+
+}  // namespace detail
+
+/// A single shared scalar (the analogue of a field in the HJ benchmarks).
+template <typename T>
+class shared {
+ public:
+  shared() = default;
+  explicit shared(T initial) : value_(std::move(initial)) {}
+
+  // Shared cells name memory locations; copying one would silently fork the
+  // location identity, so they are pinned.
+  shared(const shared&) = delete;
+  shared& operator=(const shared&) = delete;
+
+  T read(std::source_location loc = std::source_location::current()) const {
+    detail::instrument_read(&value_, sizeof(T), loc);
+    return value_;
+  }
+
+  void write(T v,
+             std::source_location loc = std::source_location::current()) {
+    detail::instrument_write(&value_, sizeof(T), loc);
+    value_ = std::move(v);
+  }
+
+  /// Address identifying this location in race reports.
+  const void* address() const noexcept { return &value_; }
+
+ private:
+  T value_{};
+};
+
+/// A fixed-size array of shared elements; each element is its own location.
+template <typename T>
+class shared_array {
+ public:
+  shared_array() = default;
+  explicit shared_array(std::size_t n, T fill = T{}) : data_(n, fill) {}
+
+  void assign(std::size_t n, T fill = T{}) { data_.assign(n, fill); }
+
+  std::size_t size() const noexcept { return data_.size(); }
+
+  T read(std::size_t i,
+         std::source_location loc = std::source_location::current()) const {
+    detail::instrument_read(&data_[i], sizeof(T), loc);
+    return data_[i];
+  }
+
+  void write(std::size_t i, T v,
+             std::source_location loc = std::source_location::current()) {
+    detail::instrument_write(&data_[i], sizeof(T), loc);
+    data_[i] = std::move(v);
+  }
+
+  const void* address(std::size_t i) const noexcept { return &data_[i]; }
+
+  /// Uninstrumented access for result verification *outside* the timed /
+  /// detected region (e.g. checksum checks after run()).
+  const T& peek(std::size_t i) const noexcept { return data_[i]; }
+  void poke(std::size_t i, T v) noexcept { data_[i] = std::move(v); }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace futrace

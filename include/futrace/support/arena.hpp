@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file arena.hpp
+/// Bump-pointer arena allocator. The detector allocates one record per task
+/// and those records must stay alive for the whole execution (shadow memory
+/// holds raw task references, per the paper's space bound of O(a + f + n)).
+/// An arena makes allocation a pointer bump and frees everything at once.
+///
+/// Objects allocated from the arena must be trivially destructible, or the
+/// owner must arrange destruction itself; the arena only releases memory.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::support {
+
+class arena {
+ public:
+  /// \param block_bytes granularity of the backing allocations.
+  explicit arena(std::size_t block_bytes = 1 << 16)
+      : block_bytes_(block_bytes) {}
+
+  arena(const arena&) = delete;
+  arena& operator=(const arena&) = delete;
+  arena(arena&&) noexcept = default;
+  arena& operator=(arena&&) noexcept = default;
+
+  /// Allocates raw storage with the given size and alignment.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    FUTRACE_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    std::uintptr_t p = (cursor_ + align - 1) & ~(std::uintptr_t{align} - 1);
+    if (p + bytes > limit_) {
+      new_block(bytes + align);
+      p = (cursor_ + align - 1) & ~(std::uintptr_t{align} - 1);
+    }
+    cursor_ = p + bytes;
+    bytes_used_ += bytes;
+    return reinterpret_cast<void*>(p);
+  }
+
+  /// Constructs a T in arena storage. The object is never destroyed by the
+  /// arena; see the file comment.
+  template <typename T, typename... Args>
+  T* create(Args&&... args) {
+    void* p = allocate(sizeof(T), alignof(T));
+    return ::new (p) T(std::forward<Args>(args)...);
+  }
+
+  /// Total payload bytes handed out (excludes alignment padding and block
+  /// slack). Used by benchmarks to report detector memory footprints.
+  std::size_t bytes_used() const noexcept { return bytes_used_; }
+
+  /// Total bytes reserved from the system.
+  std::size_t bytes_reserved() const noexcept { return bytes_reserved_; }
+
+  /// Releases every block. All objects created from the arena become invalid.
+  void reset() {
+    blocks_.clear();
+    cursor_ = 0;
+    limit_ = 0;
+    bytes_used_ = 0;
+    bytes_reserved_ = 0;
+  }
+
+ private:
+  void new_block(std::size_t min_bytes) {
+    std::size_t bytes = std::max(block_bytes_, min_bytes);
+    blocks_.emplace_back(new unsigned char[bytes]);
+    cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.back().get());
+    limit_ = cursor_ + bytes;
+    bytes_reserved_ += bytes;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<std::unique_ptr<unsigned char[]>> blocks_;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t bytes_used_ = 0;
+  std::size_t bytes_reserved_ = 0;
+};
+
+}  // namespace futrace::support

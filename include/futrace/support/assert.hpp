@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file assert.hpp
+/// Always-on checked assertions (FUTRACE_CHECK) and debug-only assertions
+/// (FUTRACE_DCHECK). A failed check prints the condition, location, and an
+/// optional message, then aborts. Race-detection correctness depends on
+/// internal invariants (interval-label subsumption, disjoint-set metadata
+/// residency), so the library keeps FUTRACE_CHECK enabled in release builds.
+
+#include <cstdint>
+#include <string>
+
+namespace futrace::support {
+
+/// Terminates the process after printing a diagnostic for a failed check.
+[[noreturn]] void check_failed(const char* condition, const char* file,
+                               int line, const std::string& message);
+
+}  // namespace futrace::support
+
+#define FUTRACE_CHECK(cond)                                                 \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::futrace::support::check_failed(#cond, __FILE__, __LINE__, "");      \
+    }                                                                       \
+  } while (0)
+
+#define FUTRACE_CHECK_MSG(cond, msg)                                        \
+  do {                                                                      \
+    if (!(cond)) [[unlikely]] {                                             \
+      ::futrace::support::check_failed(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define FUTRACE_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define FUTRACE_DCHECK(cond) FUTRACE_CHECK(cond)
+#endif

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file flags.hpp
+/// Minimal command-line flag parsing for the benchmark harnesses and
+/// examples: `--name=value` or `--name value`, plus `--help`. The harnesses
+/// need size/scale/repeat knobs without pulling in an external dependency.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace futrace::support {
+
+class flag_parser {
+ public:
+  /// Registers a flag with a default value and help text. Returns *this for
+  /// chaining. Flags are stringly typed at registration; typed getters parse
+  /// on access and abort with a clear message on malformed input.
+  flag_parser& define(const std::string& name, const std::string& default_val,
+                      const std::string& help);
+
+  /// Parses argv. Unknown flags or `--help` print usage; `--help` exits 0,
+  /// unknown flags abort. Positional arguments are collected separately.
+  void parse(int argc, char** argv);
+
+  std::string get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct flag_info {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string program_name_;
+  std::map<std::string, flag_info> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace futrace::support

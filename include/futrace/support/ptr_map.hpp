@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file ptr_map.hpp
+/// Open-addressing hash map keyed by memory addresses, used for shadow
+/// memory. One lookup happens on *every* instrumented read and write — the
+/// dominant cost in the paper's slowdown numbers — so this avoids the
+/// node allocations and pointer chasing of std::unordered_map. Linear
+/// probing, power-of-two capacity, 0 as the empty-key sentinel (no valid
+/// object lives at address 0).
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::support {
+
+template <typename V>
+class ptr_map {
+ public:
+  explicit ptr_map(std::size_t initial_capacity = 1024) {
+    std::size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  /// Grows at 50% load: linear probing stays near one probe (and with
+  /// 32-byte slots the occasional second probe shares the cache line).
+  V& operator[](const void* key) {
+    const std::uintptr_t k = reinterpret_cast<std::uintptr_t>(key);
+    FUTRACE_DCHECK(k != 0);
+    if ((size_ + 1) * 2 > slots_.size()) grow();
+    std::size_t i = index_of(k);
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == k) return slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    slots_[i].key = k;
+    ++size_;
+    return slots_[i].value;
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  V* find(const void* key) {
+    const std::uintptr_t k = reinterpret_cast<std::uintptr_t>(key);
+    std::size_t i = index_of(k);
+    while (slots_[i].key != 0) {
+      if (slots_[i].key == k) return &slots_[i].value;
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  const V* find(const void* key) const {
+    return const_cast<ptr_map*>(this)->find(key);
+  }
+
+  /// Calls fn(key_as_void_ptr, value&) for every entry.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (auto& slot : slots_) {
+      if (slot.key != 0) {
+        fn(reinterpret_cast<const void*>(slot.key), slot.value);
+      }
+    }
+  }
+
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.key != 0) {
+        fn(reinterpret_cast<const void*>(slot.key), slot.value);
+      }
+    }
+  }
+
+  /// Approximate heap footprint of the table itself (not of heap memory the
+  /// values may own).
+  std::size_t table_bytes() const noexcept {
+    return slots_.capacity() * sizeof(slot);
+  }
+
+ private:
+  struct slot {
+    std::uintptr_t key = 0;
+    V value{};
+  };
+
+  std::size_t index_of(std::uintptr_t k) const noexcept {
+    // splitmix64 finalizer as the hash; addresses share low-entropy bits.
+    std::uint64_t z = k;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    z ^= z >> 31;
+    return static_cast<std::size_t>(z) & mask_;
+  }
+
+  void grow() {
+    std::vector<slot> old = std::move(slots_);
+    slots_.clear();
+    // Quadruple while moderate: rehashing is a full zero+copy pass over a
+    // table that no longer fits cache, so fewer, bigger growth steps win.
+    slots_.resize(old.size() < (1u << 22) ? old.size() * 4 : old.size() * 2);
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (auto& s : old) {
+      if (s.key == 0) continue;
+      std::size_t i = index_of(s.key);
+      while (slots_[i].key != 0) i = (i + 1) & mask_;
+      slots_[i].key = s.key;
+      slots_[i].value = std::move(s.value);
+      ++size_;
+    }
+  }
+
+  std::vector<slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace futrace::support

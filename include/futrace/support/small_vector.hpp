@@ -1,0 +1,187 @@
+#pragma once
+
+/// \file small_vector.hpp
+/// A vector with inline storage for the first N elements. The detector keeps
+/// a non-tree-predecessor list per disjoint set and a reader list per shadow
+/// cell; both are empty or tiny for almost every task/location (the paper's
+/// #AvgReaders column is < 2 for every benchmark), so inline storage removes
+/// the allocation from the common path.
+///
+/// Only the operations the library needs are provided; the element type must
+/// be trivially copyable (task pointers, ids, small PODs), which keeps the
+/// grow/relocate path a memcpy.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::support {
+
+template <typename T, std::size_t N>
+class small_vector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "small_vector is restricted to trivially copyable elements");
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  small_vector() noexcept = default;
+
+  small_vector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  small_vector(const small_vector& other) { append(other); }
+
+  small_vector& operator=(const small_vector& other) {
+    if (this != &other) {
+      clear();
+      append(other);
+    }
+    return *this;
+  }
+
+  small_vector(small_vector&& other) noexcept { move_from(std::move(other)); }
+
+  small_vector& operator=(small_vector&& other) noexcept {
+    if (this != &other) {
+      release();
+      move_from(std::move(other));
+    }
+    return *this;
+  }
+
+  ~small_vector() { release(); }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  bool uses_inline_storage() const noexcept { return data_ == inline_data(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+
+  iterator begin() noexcept { return data_; }
+  iterator end() noexcept { return data_ + size_; }
+  const_iterator begin() const noexcept { return data_; }
+  const_iterator end() const noexcept { return data_ + size_; }
+
+  T& operator[](std::size_t i) {
+    FUTRACE_DCHECK(i < size_);
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const {
+    FUTRACE_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  T& back() {
+    FUTRACE_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+  const T& back() const {
+    FUTRACE_DCHECK(size_ > 0);
+    return data_[size_ - 1];
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow(capacity_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() {
+    FUTRACE_DCHECK(size_ > 0);
+    --size_;
+  }
+
+  void clear() noexcept { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > capacity_) grow(n);
+  }
+
+  void resize(std::size_t n, const T& fill = T{}) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = fill;
+    size_ = n;
+  }
+
+  /// Removes the element at index i by swapping the last element into its
+  /// place. O(1); does not preserve order. Reader sets are unordered, so the
+  /// detector's removal path uses this.
+  void erase_unordered(std::size_t i) {
+    FUTRACE_DCHECK(i < size_);
+    data_[i] = data_[size_ - 1];
+    --size_;
+  }
+
+  bool contains(const T& v) const {
+    return std::find(begin(), end(), v) != end();
+  }
+
+  void append(const small_vector& other) {
+    reserve(size_ + other.size_);
+    std::memcpy(data_ + size_, other.data_, other.size_ * sizeof(T));
+    size_ += other.size_;
+  }
+
+  friend bool operator==(const small_vector& a, const small_vector& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  T* inline_data() noexcept { return reinterpret_cast<T*>(inline_storage_); }
+  const T* inline_data() const noexcept {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  void grow(std::size_t new_capacity) {
+    new_capacity = std::max<std::size_t>(new_capacity, N * 2);
+    T* heap = static_cast<T*>(::operator new(new_capacity * sizeof(T)));
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (!uses_inline_storage()) ::operator delete(data_);
+    data_ = heap;
+    capacity_ = new_capacity;
+  }
+
+  void release() noexcept {
+    if (!uses_inline_storage()) ::operator delete(data_);
+    data_ = inline_data();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void move_from(small_vector&& other) noexcept {
+    if (other.uses_inline_storage()) {
+      data_ = inline_data();
+      capacity_ = N;
+      size_ = other.size_;
+      std::memcpy(data_, other.data_, size_ * sizeof(T));
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.capacity_ = N;
+    }
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::size_t size_ = 0;
+  std::size_t capacity_ = N;
+};
+
+}  // namespace futrace::support

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file stats.hpp
+/// Streaming statistics accumulators used by the benchmark harness
+/// (per-benchmark timing summaries) and by the detector's counters
+/// (#AvgReaders is a streaming mean over every shadow-memory access).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::support {
+
+/// Welford's online algorithm for mean/variance plus min/max tracking.
+class running_stats {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+
+  double variance() const noexcept {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+
+  void merge(const running_stats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+      *this = other;
+      return;
+    }
+    const double n1 = static_cast<double>(count_);
+    const double n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * n2 / (n1 + n2);
+    m2_ += other.m2_ + delta * delta * n1 * n2 / (n1 + n2);
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples and answers percentile queries; used for benchmark timing
+/// where the paper reports means of repeated runs.
+class sample_set {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  std::size_t count() const noexcept { return samples_.size(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double total = 0.0;
+    for (double s : samples_) total += s;
+    return total / static_cast<double>(samples_.size());
+  }
+
+  /// Linear-interpolated percentile, q in [0, 100].
+  double percentile(double q) const {
+    FUTRACE_CHECK(!samples_.empty());
+    FUTRACE_CHECK(q >= 0.0 && q <= 100.0);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  double median() const { return percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace futrace::support

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file table.hpp
+/// Column-aligned plain-text table printer. The Table 2 harness prints the
+/// same columns the paper reports; this keeps the formatting in one place.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace futrace::support {
+
+class text_table {
+ public:
+  explicit text_table(std::vector<std::string> headers);
+
+  /// Appends a row; the number of cells must equal the number of headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with right-aligned numeric-looking cells and a header rule.
+  std::string render() const;
+
+  void print(std::ostream& os) const;
+
+  /// Formats a count with thousands separators, e.g. 1,150,000,682.
+  static std::string with_commas(std::uint64_t value);
+
+  /// Formats a double with the given precision, e.g. "9.92".
+  static std::string fixed(double value, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace futrace::support

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file timer.hpp
+/// Monotonic wall-clock timing for the benchmark harnesses. Table 2 of the
+/// paper reports milliseconds; the harness reports the same unit.
+
+#include <chrono>
+#include <cstdint>
+
+namespace futrace::support {
+
+class stopwatch {
+ public:
+  stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  /// Elapsed time in nanoseconds since construction or the last restart().
+  std::int64_t elapsed_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double elapsed_ms() const {
+    return static_cast<double>(elapsed_ns()) * 1e-6;
+  }
+
+  double elapsed_seconds() const {
+    return static_cast<double>(elapsed_ns()) * 1e-9;
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace futrace::support

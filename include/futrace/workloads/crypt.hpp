@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file crypt.hpp
+/// The JGF "Crypt" benchmark: IDEA-encrypt a byte buffer, then decrypt it,
+/// with one task per small group of 8-byte blocks. With the paper's task
+/// granularity (one block per task) this is the worst row of Table 2: the
+/// work per task is tiny, so the per-task detector overhead dominates and
+/// the slowdown climbs toward ~8×.
+///
+/// Variants: async-finish ("Crypt-af") and futures ("Crypt-future", handles
+/// stored in instrumented shared cells and joined by the main task).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "futrace/runtime/runtime.hpp"
+#include "futrace/workloads/idea.hpp"
+
+namespace futrace::workloads {
+
+struct crypt_config {
+  std::size_t bytes = 40000;        // buffer size; rounded up to blocks of 8
+  std::size_t blocks_per_task = 1;  // paper granularity: one block per task
+  bool use_futures = false;
+  std::uint64_t seed = 0x1DEA;
+};
+
+class crypt_workload {
+ public:
+  explicit crypt_workload(const crypt_config& config);
+
+  void operator()();
+
+  /// True iff decrypt(encrypt(plain)) == plain and ciphertext != plaintext.
+  bool verify() const;
+
+  const crypt_config& config() const noexcept { return cfg_; }
+
+ private:
+  void run_pass(const shared_array<std::uint8_t>& input,
+                shared_array<std::uint8_t>& output,
+                const idea_subkeys& keys);
+
+  crypt_config cfg_;
+  idea_subkeys enc_keys_;
+  idea_subkeys dec_keys_;
+  shared_array<std::uint8_t> plain_;
+  shared_array<std::uint8_t> encrypted_;
+  shared_array<std::uint8_t> decrypted_;
+  shared_array<future<void>> handles_;  // future variant only
+};
+
+}  // namespace futrace::workloads

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file idea.hpp
+/// The IDEA block cipher (Lai–Massey, 1991) — the kernel of the JGF "Crypt"
+/// benchmark. 64-bit blocks, 128-bit keys, 8.5 rounds over three group
+/// operations: XOR, addition mod 2^16, and multiplication mod 2^16+1 with 0
+/// representing 2^16. Implemented from the standard description; the
+/// encrypt→decrypt round trip is the self-check of the crypt workload and a
+/// dedicated unit-test suite.
+
+#include <array>
+#include <cstdint>
+
+namespace futrace::workloads {
+
+using idea_key = std::array<std::uint8_t, 16>;
+using idea_subkeys = std::array<std::uint16_t, 52>;
+
+/// a ⊙ b in IDEA's multiplicative group mod 65537 (0 encodes 65536).
+std::uint16_t idea_mul(std::uint16_t a, std::uint16_t b);
+
+/// Multiplicative inverse in the same group: idea_mul(x, idea_mul_inv(x)) == 1.
+std::uint16_t idea_mul_inv(std::uint16_t x);
+
+/// Expands a 128-bit user key into the 52 encryption subkeys.
+idea_subkeys idea_encrypt_subkeys(const idea_key& key);
+
+/// Derives the 52 decryption subkeys from the encryption subkeys.
+idea_subkeys idea_decrypt_subkeys(const idea_subkeys& enc);
+
+/// Transforms one 8-byte block in place using the given subkeys. Encryption
+/// and decryption are the same transform under different subkeys.
+void idea_crypt_block(const std::uint8_t in[8], std::uint8_t out[8],
+                      const idea_subkeys& keys);
+
+}  // namespace futrace::workloads

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file jacobi.hpp
+/// Two-dimensional 5-point Jacobi stencil with tile-level future
+/// dependencies — the paper's translation of the Kastors OpenMP
+/// `depends`-clause benchmark into futures: each tile task at iteration k
+/// performs get() on its own tile and its four neighbours at iteration k-1.
+/// Those producers are siblings (all spawned by the main task), so every one
+/// of these joins is a *non-tree* join: this workload exercises the
+/// non-tree-predecessor machinery the way Table 2's Jacobi row does.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace::workloads {
+
+struct jacobi_config {
+  std::size_t n = 130;      // grid edge including the fixed boundary
+  std::size_t tile = 32;    // tile edge (interior is split into tiles)
+  int iterations = 6;
+  std::uint64_t seed = 77;
+};
+
+class jacobi_workload {
+ public:
+  explicit jacobi_workload(const jacobi_config& config);
+
+  void operator()();
+
+  /// Compares the final grid against an uninstrumented serial reference.
+  bool verify() const;
+
+  double checksum() const;
+
+  std::size_t tiles_per_side() const noexcept { return tiles_; }
+
+  const jacobi_config& config() const noexcept { return cfg_; }
+
+ private:
+  std::size_t index(std::size_t r, std::size_t c) const {
+    return r * cfg_.n + c;
+  }
+  void fill_initial();
+  std::vector<double> reference() const;
+
+  jacobi_config cfg_;
+  std::size_t tiles_;
+  shared_array<double> grid_[2];
+  std::vector<double> initial_;  // untimed copy for the reference run
+};
+
+}  // namespace futrace::workloads

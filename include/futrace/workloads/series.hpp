@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file series.hpp
+/// Fourier coefficient analysis (the JGF "Series" benchmark): computes the
+/// first N Fourier coefficient pairs of f(x) = (x+1)^x on [0,2] by trapezoid
+/// integration. One task per coefficient pair — the embarrassingly parallel
+/// row of Table 2 (expected slowdown ≈ 1.0×: work per task dominates the
+/// detector overhead).
+///
+/// Two variants, as in the paper:
+///  - async-finish ("Series-af"): a finish over one async per pair.
+///  - futures ("Series-future"): one future per pair, handles stored in an
+///    *instrumented* shared array and joined by the main task. The handle
+///    store/load traffic reproduces the paper's observation that the future
+///    variant performs ≥ 2 extra shared-memory accesses per task.
+
+#include <cstddef>
+
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace::workloads {
+
+struct series_config {
+  std::size_t coefficients = 1000;  // pairs beyond a_0
+  int integration_points = 100;     // trapezoid sample count per coefficient
+  bool use_futures = false;
+};
+
+class series_workload {
+ public:
+  explicit series_workload(const series_config& config);
+
+  /// The program body; run inside runtime::run (any execution mode).
+  void operator()();
+
+  /// Spot-checks a handful of coefficients against direct evaluation.
+  bool verify() const;
+
+  /// Order-independent digest of all coefficients (for cross-mode equality).
+  double checksum() const;
+
+  const series_config& config() const noexcept { return cfg_; }
+
+ private:
+  double coefficient(std::size_t i, bool sine) const;
+
+  series_config cfg_;
+  shared_array<double> a_;
+  shared_array<double> b_;
+  shared_array<future<void>> handles_;  // future variant only
+};
+
+}  // namespace futrace::workloads

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file smith_waterman.hpp
+/// Smith–Waterman local sequence alignment with a tiled wavefront of future
+/// tasks (the COMP322-style benchmark of Table 2): tile (i,j) performs get()
+/// on tiles (i-1,j), (i,j-1) and (i-1,j-1) — all siblings, hence non-tree
+/// joins — then fills its block of the DP matrix.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace::workloads {
+
+struct sw_config {
+  std::size_t rows = 400;  // length of sequence A
+  std::size_t cols = 400;  // length of sequence B
+  std::size_t tile = 40;   // tile edge
+  int match = 2;
+  int mismatch = -1;
+  int gap = -1;
+  std::uint64_t seed = 0xA11C;
+};
+
+class sw_workload {
+ public:
+  explicit sw_workload(const sw_config& config);
+
+  void operator()();
+
+  /// Compares the DP matrix and best score against a serial reference.
+  bool verify() const;
+
+  /// The best local-alignment score found.
+  int best_score() const noexcept { return best_; }
+
+  const sw_config& config() const noexcept { return cfg_; }
+
+ private:
+  std::size_t index(std::size_t r, std::size_t c) const {
+    return r * (cfg_.cols + 1) + c;
+  }
+  int score(std::uint8_t a, std::uint8_t b) const {
+    return a == b ? cfg_.match : cfg_.mismatch;
+  }
+  std::vector<int> reference() const;
+
+  sw_config cfg_;
+  std::vector<std::uint8_t> seq_a_;  // untimed inputs
+  std::vector<std::uint8_t> seq_b_;
+  shared_array<int> h_;  // (rows+1) × (cols+1) DP matrix
+  int best_ = 0;
+};
+
+}  // namespace futrace::workloads

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file strassen.hpp
+/// Strassen matrix multiplication with future tasks — the paper's
+/// translation of the Kastors OpenMP `depends` benchmark. At each recursion
+/// level the seven products M1..M7 run as future tasks; four combine tasks
+/// then get() the products they need (sibling joins — non-tree) and assemble
+/// the result quadrants; the parent joins the combiners (tree joins).
+///
+/// All matrix storage lives in instrumented shared arrays allocated from a
+/// never-freed pool: the shadow memory holds references to locations for the
+/// whole execution (the paper's Java implementation relies on GC for the
+/// same property), so addresses must not be recycled mid-run.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace::workloads {
+
+struct strassen_config {
+  std::size_t n = 128;      // matrix edge; power of two
+  std::size_t cutoff = 32;  // naive-multiply threshold; power of two
+  std::uint64_t seed = 0x57;
+};
+
+class strassen_workload {
+ public:
+  explicit strassen_workload(const strassen_config& config);
+
+  void operator()();
+
+  /// Compares C = A·B against an uninstrumented naive reference.
+  bool verify() const;
+
+  const strassen_config& config() const noexcept { return cfg_; }
+
+ private:
+  /// A square matrix backed by a pool-owned shared array.
+  struct mat {
+    shared_array<double>* cells = nullptr;
+    std::size_t n = 0;
+  };
+
+  mat alloc(std::size_t n);
+  void multiply(mat a, mat b, mat c);
+  void multiply_naive(mat a, mat b, mat c);
+
+  strassen_config cfg_;
+  std::vector<double> input_a_;  // untimed copies for the reference check
+  std::vector<double> input_b_;
+  mat a_, b_, c_;
+  std::vector<std::unique_ptr<shared_array<double>>> pool_;
+  std::mutex pool_mutex_;  // the parallel engine allocates concurrently
+};
+
+}  // namespace futrace::workloads

@@ -1,0 +1,11 @@
+#pragma once
+
+/// \file workloads.hpp
+/// Umbrella header for the Table 2 benchmark kernels.
+
+#include "futrace/workloads/crypt.hpp"           // IWYU pragma: export
+#include "futrace/workloads/idea.hpp"            // IWYU pragma: export
+#include "futrace/workloads/jacobi.hpp"          // IWYU pragma: export
+#include "futrace/workloads/series.hpp"          // IWYU pragma: export
+#include "futrace/workloads/smith_waterman.hpp"  // IWYU pragma: export
+#include "futrace/workloads/strassen.hpp"        // IWYU pragma: export

@@ -1,0 +1,135 @@
+#include "futrace/baselines/esp_bags_detector.hpp"
+
+#include <algorithm>
+
+#include "futrace/runtime/errors.hpp"
+#include "futrace/support/assert.hpp"
+
+namespace futrace::baselines {
+
+void esp_bags_detector::on_program_start(task_id root) {
+  FUTRACE_CHECK(root == 0 && nodes_.empty());
+  nodes_.push_back(node{0, 1, bag_tag::s_bag});
+}
+
+void esp_bags_detector::on_task_spawn(task_id parent, task_id child,
+                                      task_kind kind) {
+  (void)parent;
+  if (kind == task_kind::future || kind == task_kind::continuation) {
+    throw usage_error(
+        "ESP-bags supports only async-finish programs; futures and promises "
+        "require the futrace::detect::race_detector");
+  }
+  FUTRACE_CHECK(child == nodes_.size());
+  // The child starts in its own S-bag.
+  nodes_.push_back(node{child, 1, bag_tag::s_bag});
+}
+
+void esp_bags_detector::on_task_end(task_id t) {
+  if (finish_stack_.empty()) return;  // the root task ending
+  // The completed task's S-bag moves into the P-bag of its Immediately
+  // Enclosing Finish: it may now run in parallel with everything the
+  // current task does until that finish ends.
+  finish_frame& frame = finish_stack_.back();
+  if (frame.pbag == k_invalid_task) {
+    const task_id r = find(t);
+    nodes_[r].tag = bag_tag::p_bag;
+    frame.pbag = r;
+  } else {
+    set_union(frame.pbag, t, bag_tag::p_bag);
+    frame.pbag = find(frame.pbag);
+  }
+}
+
+void esp_bags_detector::on_finish_start(task_id owner) {
+  finish_stack_.push_back(finish_frame{owner, k_invalid_task});
+}
+
+void esp_bags_detector::on_finish_end(task_id owner,
+                                      std::span<const task_id>) {
+  FUTRACE_DCHECK(!finish_stack_.empty());
+  const finish_frame frame = finish_stack_.back();
+  finish_stack_.pop_back();
+  // Everything joined by this finish now precedes the owner's continuation:
+  // the P-bag folds into the owner's S-bag.
+  if (frame.pbag != k_invalid_task) {
+    set_union(owner, frame.pbag, bag_tag::s_bag);
+  }
+}
+
+void esp_bags_detector::on_get(task_id, task_id) {
+  throw usage_error(
+      "ESP-bags cannot model future get() operations (non-strict joins)");
+}
+
+void esp_bags_detector::on_promise_put(task_id) {
+  throw usage_error("ESP-bags cannot model promises");
+}
+
+void esp_bags_detector::on_read(task_id t, const void* addr, std::size_t,
+                                access_site) {
+  cell& c = shadow_[addr];
+  if (c.writer != k_invalid_task && !precedes(c.writer, t)) {
+    ++races_;
+    racy_.push_back(addr);
+  }
+  // Keep a reader only if it does not precede the current one; a surviving
+  // parallel reader covers this read for all later writers (Lemma 4).
+  if (c.reader == k_invalid_task || precedes(c.reader, t)) {
+    c.reader = t;
+  }
+}
+
+void esp_bags_detector::on_write(task_id t, const void* addr, std::size_t,
+                                 access_site) {
+  cell& c = shadow_[addr];
+  if (c.reader != k_invalid_task && !precedes(c.reader, t)) {
+    ++races_;
+    racy_.push_back(addr);
+  }
+  if (c.writer != k_invalid_task && !precedes(c.writer, t)) {
+    ++races_;
+    racy_.push_back(addr);
+  }
+  c.writer = t;
+}
+
+task_id esp_bags_detector::find(task_id t) {
+  while (nodes_[t].uf_parent != t) {
+    nodes_[t].uf_parent = nodes_[nodes_[t].uf_parent].uf_parent;
+    t = nodes_[t].uf_parent;
+  }
+  return t;
+}
+
+void esp_bags_detector::set_union(task_id into, task_id from, bag_tag tag) {
+  task_id a = find(into);
+  task_id b = find(from);
+  if (a == b) {
+    nodes_[a].tag = tag;
+    return;
+  }
+  if (nodes_[a].uf_size < nodes_[b].uf_size) std::swap(a, b);
+  nodes_[b].uf_parent = a;
+  nodes_[a].uf_size += nodes_[b].uf_size;
+  nodes_[a].tag = tag;
+}
+
+bool esp_bags_detector::precedes(task_id x, task_id current) {
+  if (x == current) return true;
+  return nodes_[find(x)].tag == bag_tag::s_bag;
+}
+
+std::vector<const void*> esp_bags_detector::racy_locations() const {
+  std::vector<const void*> out = racy_;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t esp_bags_detector::memory_bytes() const {
+  return nodes_.capacity() * sizeof(node) + shadow_.table_bytes() +
+         finish_stack_.capacity() * sizeof(finish_frame);
+}
+
+}  // namespace futrace::baselines

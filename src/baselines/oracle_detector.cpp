@@ -1,0 +1,71 @@
+#include "futrace/baselines/oracle_detector.hpp"
+
+#include <algorithm>
+
+namespace futrace::baselines {
+
+void oracle_detector::on_program_start(task_id root) {
+  recorder_.on_program_start(root);
+}
+
+void oracle_detector::on_task_spawn(task_id parent, task_id child,
+                                    task_kind kind) {
+  recorder_.on_task_spawn(parent, child, kind);
+}
+
+void oracle_detector::on_task_end(task_id t) { recorder_.on_task_end(t); }
+
+void oracle_detector::on_finish_start(task_id owner) {
+  recorder_.on_finish_start(owner);
+}
+
+void oracle_detector::on_finish_end(task_id owner,
+                                    std::span<const task_id> joined) {
+  recorder_.on_finish_end(owner, joined);
+}
+
+void oracle_detector::on_get(task_id waiter, task_id target) {
+  recorder_.on_get(waiter, target);
+}
+
+void oracle_detector::on_read(task_id t, const void* addr, std::size_t,
+                              access_site) {
+  check(t, addr, /*is_write=*/false);
+}
+
+void oracle_detector::on_write(task_id t, const void* addr, std::size_t,
+                               access_site) {
+  check(t, addr, /*is_write=*/true);
+}
+
+void oracle_detector::check(task_id t, const void* addr, bool is_write) {
+  const graph::step_id cur = recorder_.current_step(t);
+  std::vector<access>& hist = history_[addr];
+  // Skip duplicate consecutive entries (tight loops re-accessing the same
+  // location within one step dominate otherwise).
+  if (!hist.empty() && hist.back().step == cur &&
+      hist.back().is_write == is_write) {
+    return;
+  }
+  bool raced = false;
+  for (const access& prev : hist) {
+    if (!prev.is_write && !is_write) continue;  // read-read never races
+    if (recorder_.graph().parallel(prev.step, cur)) {
+      raced = true;
+      ++races_;
+      racy_pairs_.push_back(
+          racy_pair{addr, prev.step, cur, prev.is_write, is_write});
+    }
+  }
+  if (raced) racy_.push_back(addr);
+  hist.push_back(access{cur, is_write});
+}
+
+std::vector<const void*> oracle_detector::racy_locations() const {
+  std::vector<const void*> out = racy_;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace futrace::baselines

@@ -1,0 +1,119 @@
+#include "futrace/baselines/vector_clock_detector.hpp"
+
+#include <algorithm>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::baselines {
+
+void vector_clock_detector::on_program_start(task_id root) {
+  FUTRACE_CHECK(root == 0 && clocks_.empty());
+  clocks_.emplace_back();
+}
+
+void vector_clock_detector::on_task_spawn(task_id parent, task_id child,
+                                          task_kind) {
+  FUTRACE_CHECK(child == clocks_.size());
+  // The child inherits everything the parent has joined, plus the parent's
+  // own steps so far — this copy is the O(#tasks) per-spawn cost.
+  bits b = clocks_[parent];
+  set_bit(b, parent);
+  clocks_.push_back(std::move(b));
+}
+
+void vector_clock_detector::on_finish_end(task_id owner,
+                                          std::span<const task_id> joined) {
+  bits& o = clocks_[owner];
+  for (const task_id t : joined) {
+    merge_into(o, clocks_[t]);
+    set_bit(o, t);
+  }
+}
+
+void vector_clock_detector::on_get(task_id waiter, task_id target) {
+  bits& w = clocks_[waiter];
+  merge_into(w, clocks_[target]);
+  set_bit(w, target);
+}
+
+void vector_clock_detector::on_read(task_id t, const void* addr, std::size_t,
+                                    access_site) {
+  cell& c = shadow_[addr];
+  if (c.writer != k_invalid_task && !precedes(c.writer, t)) {
+    ++races_;
+    racy_.push_back(addr);
+  }
+  for (std::size_t i = 0; i < c.readers.size();) {
+    if (precedes(c.readers[i], t)) {
+      c.readers.erase_unordered(i);
+    } else {
+      ++i;
+    }
+  }
+  if (!c.readers.contains(t)) c.readers.push_back(t);
+}
+
+void vector_clock_detector::on_write(task_id t, const void* addr, std::size_t,
+                                     access_site) {
+  cell& c = shadow_[addr];
+  for (std::size_t i = 0; i < c.readers.size();) {
+    if (precedes(c.readers[i], t)) {
+      c.readers.erase_unordered(i);
+    } else {
+      ++races_;
+      racy_.push_back(addr);
+      ++i;
+    }
+  }
+  if (c.writer != k_invalid_task && !precedes(c.writer, t)) {
+    ++races_;
+    racy_.push_back(addr);
+  }
+  c.writer = t;
+}
+
+void vector_clock_detector::set_bit(bits& b, task_id t) {
+  const std::size_t word = t / 64;
+  if (word >= b.size()) b.resize(word + 1, 0);
+  b[word] |= std::uint64_t{1} << (t % 64);
+}
+
+bool vector_clock_detector::test_bit(const bits& b, task_id t) {
+  const std::size_t word = t / 64;
+  return word < b.size() && (b[word] >> (t % 64)) & 1;
+}
+
+void vector_clock_detector::merge_into(bits& into, const bits& from) {
+  if (from.size() > into.size()) into.resize(from.size(), 0);
+  for (std::size_t i = 0; i < from.size(); ++i) into[i] |= from[i];
+}
+
+bool vector_clock_detector::precedes(task_id x, task_id current) const {
+  return x == current || test_bit(clocks_[current], x);
+}
+
+std::vector<const void*> vector_clock_detector::racy_locations() const {
+  std::vector<const void*> out = racy_;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::size_t vector_clock_detector::clock_bytes() const {
+  std::size_t bytes = 0;
+  for (const bits& b : clocks_) bytes += b.capacity() * sizeof(std::uint64_t);
+  return bytes;
+}
+
+std::size_t vector_clock_detector::memory_bytes() const {
+  std::size_t bytes = clock_bytes() + clocks_.capacity() * sizeof(bits) +
+                      shadow_.table_bytes();
+  shadow_.for_each([&bytes](const void*, const cell& c) {
+    if (!c.readers.uses_inline_storage()) {
+      bytes += c.readers.capacity() * sizeof(task_id);
+    }
+  });
+  return bytes;
+}
+
+}  // namespace futrace::baselines

@@ -1,0 +1,185 @@
+#include "futrace/detect/race_detector.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::detect {
+
+const char* race_kind_name(race_kind kind) {
+  switch (kind) {
+    case race_kind::write_write:
+      return "write-write";
+    case race_kind::read_write:
+      return "read-write";
+    case race_kind::write_read:
+      return "write-read";
+  }
+  return "?";
+}
+
+std::string race_report::to_string() const {
+  std::ostringstream out;
+  out << race_kind_name(kind) << " determinacy race at " << location
+      << ": task " << first_task << " (" << first_site.file << ":"
+      << first_site.line << ") || task " << second_task << " ("
+      << second_site.file << ":" << second_site.line << ")";
+  return out.str();
+}
+
+race_detector::race_detector() : race_detector(options{}) {}
+
+race_detector::race_detector(options opts) : opts_(opts) {
+  kinds_.reserve(1024);
+}
+
+void race_detector::on_program_start(task_id root) {
+  const dsr::task_id id = graph_.create_root();
+  FUTRACE_CHECK_MSG(id == root, "detector and runtime task ids diverged");
+  kinds_.push_back(task_kind::root);
+  put_flags_.push_back(0);
+}
+
+void race_detector::on_task_spawn(task_id parent, task_id child,
+                                  task_kind kind) {
+  // Algorithm 2: label assignment, set creation, LSA inheritance.
+  const dsr::task_id id = graph_.create_task(parent);
+  FUTRACE_CHECK_MSG(id == child, "detector and runtime task ids diverged");
+  kinds_.push_back(kind);
+  put_flags_.push_back(0);
+}
+
+void race_detector::on_promise_put(task_id fulfiller) {
+  ++promise_puts_;
+  put_flags_[fulfiller] = 1;
+}
+
+void race_detector::on_task_end(task_id t) {
+  // Algorithm 3: finalize the postorder value.
+  graph_.on_terminate(t);
+}
+
+void race_detector::on_finish_end(task_id owner,
+                                  std::span<const task_id> joined) {
+  // Algorithm 6: every task whose IEF just ended merges into the owner's
+  // set (tree joins).
+  for (const task_id t : joined) graph_.on_finish_join(owner, t);
+}
+
+void race_detector::on_get(task_id waiter, task_id target) {
+  // Algorithm 4: tree join (merge) or non-tree join (predecessor edge).
+  ++get_operations_;
+  graph_.on_get(waiter, target);
+}
+
+void race_detector::on_read(task_id t, const void* addr, std::size_t,
+                            access_site site) {
+  // Algorithm 9, with the add-rule read as intended (see DESIGN.md §5): the
+  // reader is recorded unless a surviving parallel *async* reader already
+  // covers an async reader (Lemma 4); future readers are always recorded.
+  ++reads_;
+  shadow_cell& cell = shadow_.access(addr);
+
+  bool covered = false;
+  for (std::size_t i = 0; i < cell.reader_count();) {
+    const reader_entry prev = cell.reader_at(i);
+    if (graph_.precedes(prev.task, t)) {
+      cell.remove_reader_at(i);
+      continue;
+    }
+    if (!is_joinable(prev.task) && !is_joinable(t)) covered = true;
+    ++i;
+  }
+
+  if (cell.writer != k_invalid_task && !graph_.precedes(cell.writer, t)) {
+    report(addr, race_kind::write_read, cell.writer, cell.writer_site, t,
+           sites_.intern(site));
+  }
+
+  if (!covered) {
+    cell.add_reader(reader_entry{t, sites_.intern(site)});
+    shadow_.note_reader_count(cell.reader_count());
+  }
+}
+
+void race_detector::on_write(task_id t, const void* addr, std::size_t,
+                             access_site site) {
+  // Algorithm 8: check every stored reader and the previous writer; readers
+  // that precede the write retire, racing readers stay recorded.
+  ++writes_;
+  shadow_cell& cell = shadow_.access(addr);
+
+  for (std::size_t i = 0; i < cell.reader_count();) {
+    const reader_entry prev = cell.reader_at(i);
+    if (graph_.precedes(prev.task, t)) {
+      cell.remove_reader_at(i);
+      continue;
+    }
+    report(addr, race_kind::read_write, prev.task, prev.site, t,
+           sites_.intern(site));
+    ++i;
+  }
+
+  if (cell.writer != k_invalid_task && !graph_.precedes(cell.writer, t)) {
+    report(addr, race_kind::write_write, cell.writer, cell.writer_site, t,
+           sites_.intern(site));
+  }
+
+  cell.writer = t;
+  cell.writer_site = sites_.intern(site);
+}
+
+void race_detector::report(const void* addr, race_kind kind, task_id first,
+                           site_id first_site, task_id second,
+                           site_id second_site) {
+  ++races_observed_;
+  racy_location_list_.push_back(addr);
+  const race_report materialized{addr, kind, first, second,
+                                 sites_.resolve(first_site),
+                                 sites_.resolve(second_site)};
+  if (reports_.size() < opts_.max_reports) {
+    reports_.push_back(materialized);
+  }
+  if (opts_.fail_fast) {
+    throw race_found_error(materialized);
+  }
+}
+
+std::vector<const void*> race_detector::racy_locations() const {
+  std::vector<const void*> locations = racy_location_list_;
+  std::sort(locations.begin(), locations.end());
+  locations.erase(std::unique(locations.begin(), locations.end()),
+                  locations.end());
+  return locations;
+}
+
+detector_counters race_detector::counters() const {
+  detector_counters c;
+  const auto& gs = graph_.stats();
+  c.tasks = gs.tasks_created > 0 ? gs.tasks_created - 1 : 0;  // minus root
+  for (const task_kind k : kinds_) {
+    if (k == task_kind::async) ++c.async_tasks;
+    if (k == task_kind::future) ++c.future_tasks;
+    if (k == task_kind::continuation) ++c.continuation_tasks;
+  }
+  c.promise_puts = promise_puts_;
+  c.get_operations = get_operations_;
+  c.non_tree_joins = gs.non_tree_joins;
+  c.shared_mem_accesses = shadow_.access_count();
+  c.reads = reads_;
+  c.writes = writes_;
+  c.avg_readers = shadow_.average_readers();
+  c.max_readers = shadow_.max_readers();
+  c.locations = shadow_.location_count();
+  c.races_observed = races_observed_;
+  c.racy_locations = racy_locations().size();
+  return c;
+}
+
+std::size_t race_detector::memory_bytes() const {
+  return graph_.memory_bytes() + shadow_.memory_bytes() +
+         kinds_.capacity() * sizeof(task_kind) + put_flags_.capacity();
+}
+
+}  // namespace futrace::detect

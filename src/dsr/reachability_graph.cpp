@@ -1,0 +1,263 @@
+#include "futrace/dsr/reachability_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace futrace::dsr {
+
+reachability_graph::reachability_graph() {
+  nodes_.reserve(1024);
+  uf_parent_.reserve(1024);
+}
+
+task_id reachability_graph::create_root() {
+  FUTRACE_CHECK_MSG(nodes_.empty(), "create_root must be the first event");
+  return create_task(k_invalid_task);
+}
+
+task_id reachability_graph::create_task(task_id parent) {
+  FUTRACE_CHECK_MSG(parent != k_invalid_task || nodes_.empty(),
+                    "only the root task may lack a parent");
+  const task_id id = static_cast<task_id>(nodes_.size());
+  node n;
+  n.spawn_parent = parent;
+  n.own_label = labels_.on_spawn();
+  n.label = n.own_label;
+  uf_parent_.push_back(id);
+  if (parent != k_invalid_task) {
+    // Algorithm 2 lines 7-11: the child's LSA is the parent itself when the
+    // parent's set already has incoming non-tree edges, otherwise it inherits
+    // the parent's LSA. Metadata lives at the parent's representative.
+    const task_id rp = find(parent);
+    n.lsa = nodes_[rp].nt.empty() ? nodes_[rp].lsa : parent;
+  }
+  nodes_.push_back(std::move(n));
+  ++stats_.tasks_created;
+  return id;
+}
+
+void reachability_graph::on_terminate(task_id t) {
+  FUTRACE_DCHECK(t < nodes_.size());
+  FUTRACE_CHECK_MSG(!nodes_[t].terminated, "task terminated twice");
+  nodes_[t].terminated = true;
+  const std::uint64_t post = labels_.on_terminate();
+  nodes_[t].own_label.post = post;
+  // Algorithm 3 updates the label of the terminating task's *set*. In a
+  // depth-first execution every other member of the set is a descendant that
+  // already terminated, so `t` is the member closest to the root and the set
+  // label is t's label.
+  const task_id r = find(t);
+  FUTRACE_DCHECK(nodes_[r].label.pre == nodes_[t].own_label.pre);
+  nodes_[r].label.post = post;
+}
+
+bool reachability_graph::on_get(task_id waiter, task_id target) {
+  FUTRACE_DCHECK(waiter < nodes_.size() && target < nodes_.size());
+  if (!nodes_[target].terminated) {
+    // Only a live *ancestor* can be joined mid-flight (a promise fulfilled
+    // earlier on the current continuation chain): the ordering is already
+    // implied by the spawn chain, so the edge carries no new information.
+    FUTRACE_CHECK_MSG(is_spawn_ancestor(target, waiter),
+                      "get() on a live non-ancestor task; the serial "
+                      "depth-first execution order was violated");
+    return true;
+  }
+  // Already connected by tree joins (e.g. the target joined this waiter's
+  // finish before the get): nothing to record.
+  if (find(waiter) == find(target)) return true;
+  const task_id parent = nodes_[target].spawn_parent;
+  // Algorithm 4: a get is a tree join iff the waiter is in the same set as
+  // the target's spawn parent (the waiter is then an ancestor reached from
+  // the target purely by tree joins).
+  if (parent != k_invalid_task && find(waiter) == find(parent)) {
+    if (find(waiter) != find(target)) {
+      merge(waiter, target);
+      ++stats_.tree_joins;
+    }
+    return true;
+  }
+  const task_id rw = find(waiter);
+  if (!nodes_[rw].nt.contains(target)) {
+    nodes_[rw].nt.push_back(target);
+  }
+  ++stats_.non_tree_joins;
+  return false;
+}
+
+void reachability_graph::on_finish_join(task_id owner, task_id joined) {
+  FUTRACE_DCHECK(owner < nodes_.size() && joined < nodes_.size());
+  FUTRACE_CHECK_MSG(nodes_[joined].terminated,
+                    "finish join on a task that has not terminated");
+  if (find(owner) == find(joined)) return;  // already merged via a get()
+  merge(owner, joined);
+  ++stats_.tree_joins;
+}
+
+task_id reachability_graph::find(task_id t) {
+  // Iterative path halving over the dense parent array.
+  while (uf_parent_[t] != t) {
+    uf_parent_[t] = uf_parent_[uf_parent_[t]];
+    t = uf_parent_[t];
+  }
+  return t;
+}
+
+void reachability_graph::merge(task_id ancestor_side, task_id descendant_side) {
+  task_id ra = find(ancestor_side);
+  task_id rd = find(descendant_side);
+  FUTRACE_DCHECK(ra != rd);
+  // Algorithm 7: the merged set keeps the ancestor side's label and LSA and
+  // the union of the non-tree predecessor lists. Without promises the
+  // ancestor side's interval always subsumes the descendant side's; a
+  // promise put() splits tasks, after which a finish may merge tasks spawned
+  // by *earlier* identities on the continuation chain into the current
+  // identity's set, whose interval starts later — so no subsumption check.
+  interval_label label = nodes_[ra].label;
+  const task_id lsa = nodes_[ra].lsa;
+
+  // Union by size; metadata then moves to whichever index won.
+  task_id winner = ra;
+  task_id loser = rd;
+  if (nodes_[winner].uf_size < nodes_[loser].uf_size) std::swap(winner, loser);
+  uf_parent_[loser] = winner;
+  nodes_[winner].uf_size += nodes_[loser].uf_size;
+
+  if (winner != ra) {
+    nodes_[winner].nt.append(nodes_[ra].nt);
+    nodes_[ra].nt = {};
+  } else {
+    nodes_[winner].nt.append(nodes_[rd].nt);
+    nodes_[rd].nt = {};
+  }
+  nodes_[winner].label = label;
+  nodes_[winner].lsa = lsa;
+}
+
+bool reachability_graph::precedes(task_id a, task_id b) {
+  ++stats_.precede_queries;
+  if (a == k_invalid_task) return true;
+  FUTRACE_DCHECK(a < nodes_.size() && b < nodes_.size());
+  if (a == b) return true;  // a task's earlier steps precede its current one
+  const task_id ra = find(a);
+  const task_id rb = find(b);
+  if (ra == rb) return true;
+  // Fast path for the commonest positive answer: a's set top is a spawn
+  // ancestor of b's set top (e.g. a merged into an ancestor's set through a
+  // finish, b is a later task) — no search needed.
+  if (nodes_[ra].label.subsumes(nodes_[rb].label)) return true;
+  ++query_epoch_;
+  return visit(a, ra, b);
+}
+
+bool reachability_graph::visit(task_id a, task_id ra, task_id start) {
+  // Iterative depth-first search over path nodes. A "path node" is a task x
+  // for which we must decide whether a ⇒ (last executed step of x); the
+  // search explores x's set's non-tree predecessors and the non-tree
+  // predecessors of x's significant-ancestor chain (Algorithm 10).
+  const interval_label label_a = nodes_[ra].label;
+  const std::uint64_t a_spawn_pre = nodes_[a].own_label.pre;
+
+  support::small_vector<task_id, 32> stack;
+  stack.push_back(start);
+
+  while (!stack.empty()) {
+    const task_id x = stack.back();
+    stack.pop_back();
+
+    // Preorder cutoff (Algorithm 10 lines 12-14), in its provably safe form:
+    // a path node that terminated before `a` was spawned cannot be reached
+    // from any step of `a`. (The paper states the cutoff as a bare preorder
+    // comparison; after tree-join merges the target's *set* carries the
+    // ancestor's small preorder, which would wrongly prune transitive-join
+    // paths such as the main-gets-C-gets-B chain of Fig. 1, so we compare
+    // the task's own interval instead — dominated intervals are exactly the
+    // "source must have lower preorder than sink" argument.)
+    if (nodes_[x].own_label.post < a_spawn_pre) continue;
+
+    const task_id rx = find(x);
+    // Lines 6-11: same set, or the interval of a's set subsumes the interval
+    // of x's set (the top of a's set is a spawn ancestor of x).
+    if (rx == ra) return true;
+    if (label_a.subsumes(nodes_[rx].label)) return true;
+    if (nodes_[rx].path_epoch == query_epoch_) continue;
+    nodes_[rx].path_epoch = query_epoch_;
+    ++stats_.visit_steps;
+
+    // Lines 15-20: immediate non-tree predecessors of x's set.
+    for (const task_id p : nodes_[rx].nt) {
+      ++stats_.nt_edges_walked;
+      stack.push_back(p);
+    }
+
+    // Lines 21-29: non-tree predecessors of the significant-ancestor chain.
+    // Only the ancestors' *edges* join the search; the ancestors themselves
+    // are not path nodes (an ancestor's set containing `a` does not by itself
+    // witness a path from a's last step to x).
+    task_id v = nodes_[rx].lsa;
+    while (v != k_invalid_task) {
+      const task_id rv = find(v);
+      if (nodes_[rv].lsa_scan_epoch == query_epoch_) break;
+      nodes_[rv].lsa_scan_epoch = query_epoch_;
+      ++stats_.lsa_hops;
+      for (const task_id p : nodes_[rv].nt) {
+        ++stats_.nt_edges_walked;
+        stack.push_back(p);
+      }
+      v = nodes_[rv].lsa;
+    }
+  }
+  return false;
+}
+
+std::vector<task_id> reachability_graph::set_non_tree_predecessors(task_id t) {
+  const task_id r = find(t);
+  return {nodes_[r].nt.begin(), nodes_[r].nt.end()};
+}
+
+std::string reachability_graph::to_dot() {
+  // Group tasks by representative.
+  std::map<task_id, std::vector<task_id>> sets;
+  for (task_id t = 0; t < nodes_.size(); ++t) sets[find(t)].push_back(t);
+
+  std::ostringstream out;
+  out << "digraph reachability_graph {\n"
+      << "  rankdir=BT;\n  node [shape=box, fontsize=10];\n";
+  for (const auto& [rep, members] : sets) {
+    out << "  d" << rep << " [label=\"{";
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      out << (i ? "," : "") << "T" << members[i];
+    }
+    out << "} [" << nodes_[rep].label.pre << ",";
+    if (nodes_[rep].terminated) {
+      out << nodes_[rep].label.post;
+    } else {
+      out << "*";
+    }
+    out << "]\"];\n";
+  }
+  for (const auto& [rep, members] : sets) {
+    (void)members;
+    for (const task_id p : nodes_[rep].nt) {
+      out << "  d" << find(p) << " -> d" << rep
+          << " [color=red, label=\"nt\"];\n";
+    }
+    if (nodes_[rep].lsa != k_invalid_task) {
+      out << "  d" << rep << " -> d" << find(nodes_[rep].lsa)
+          << " [style=dashed, color=gray, label=\"lsa\"];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::size_t reachability_graph::memory_bytes() const {
+  std::size_t bytes = nodes_.capacity() * sizeof(node) +
+                      uf_parent_.capacity() * sizeof(task_id);
+  for (const node& n : nodes_) {
+    if (!n.nt.uses_inline_storage()) bytes += n.nt.capacity() * sizeof(task_id);
+  }
+  return bytes;
+}
+
+}  // namespace futrace::dsr

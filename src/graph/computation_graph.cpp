@@ -1,0 +1,113 @@
+#include "futrace/graph/computation_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "futrace/support/small_vector.hpp"
+
+namespace futrace::graph {
+
+const char* edge_kind_name(edge_kind kind) {
+  switch (kind) {
+    case edge_kind::continuation:
+      return "continue";
+    case edge_kind::spawn:
+      return "spawn";
+    case edge_kind::join_tree:
+      return "tree-join";
+    case edge_kind::join_non_tree:
+      return "non-tree-join";
+  }
+  return "?";
+}
+
+step_id computation_graph::add_step(task_id task) {
+  const step_id id = static_cast<step_id>(step_tasks_.size());
+  step_tasks_.push_back(task);
+  successors_.emplace_back();
+  visit_epoch_.push_back(0);
+  return id;
+}
+
+void computation_graph::add_edge(step_id from, step_id to, edge_kind kind) {
+  FUTRACE_CHECK_MSG(from < step_tasks_.size() && to < step_tasks_.size(),
+                    "edge endpoints must be existing steps");
+  FUTRACE_CHECK_MSG(from < to,
+                    "computation-graph edges must point forward in "
+                    "depth-first execution order");
+  edges_.push_back(edge{from, to, kind});
+  successors_[from].push_back(to);
+}
+
+bool computation_graph::reachable(step_id from, step_id to) const {
+  if (from == to) return true;
+  if (from > to) return false;  // edges only increase step ids
+  ++epoch_;
+  support::small_vector<step_id, 64> stack;
+  stack.push_back(from);
+  visit_epoch_[from] = epoch_;
+  while (!stack.empty()) {
+    const step_id s = stack.back();
+    stack.pop_back();
+    for (const step_id next : successors_[s]) {
+      if (next == to) return true;
+      if (next > to) continue;  // cannot lead back down to `to`
+      if (visit_epoch_[next] == epoch_) continue;
+      visit_epoch_[next] = epoch_;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+std::size_t computation_graph::count_edges(edge_kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(edges_.begin(), edges_.end(),
+                    [kind](const edge& e) { return e.kind == kind; }));
+}
+
+std::string computation_graph::to_dot(
+    const std::vector<std::string>& task_names) const {
+  std::ostringstream out;
+  out << "digraph computation_graph {\n"
+      << "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+
+  task_id max_task = 0;
+  for (const task_id t : step_tasks_) max_task = std::max(max_task, t);
+  for (task_id t = 0; t <= max_task && !step_tasks_.empty(); ++t) {
+    std::string name = t < task_names.size() ? task_names[t]
+                                             : "T" + std::to_string(t);
+    out << "  subgraph cluster_task" << t << " {\n"
+        << "    label=\"" << name << "\";\n";
+    for (step_id s = 0; s < step_tasks_.size(); ++s) {
+      if (step_tasks_[s] == t) out << "    s" << s << " [label=\"S" << s
+                                   << "\"];\n";
+    }
+    out << "  }\n";
+  }
+  for (const edge& e : edges_) {
+    const char* style = "solid";
+    const char* color = "black";
+    switch (e.kind) {
+      case edge_kind::continuation:
+        break;
+      case edge_kind::spawn:
+        color = "blue";
+        break;
+      case edge_kind::join_tree:
+        color = "darkgreen";
+        style = "dashed";
+        break;
+      case edge_kind::join_non_tree:
+        color = "red";
+        style = "dashed";
+        break;
+    }
+    out << "  s" << e.from << " -> s" << e.to << " [color=" << color
+        << ", style=" << style << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace futrace::graph

@@ -1,0 +1,83 @@
+#include "futrace/graph/graph_recorder.hpp"
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::graph {
+
+void graph_recorder::on_program_start(futrace::task_id root) {
+  FUTRACE_CHECK(root == 0 && parent_.empty());
+  parent_.push_back(futrace::k_invalid_task);
+  kinds_.push_back(task_kind::root);
+  current_step_.push_back(graph_.add_step(root));
+  task_stack_.push_back(root);
+}
+
+void graph_recorder::on_task_spawn(futrace::task_id parent,
+                                   futrace::task_id child, task_kind kind) {
+  FUTRACE_CHECK(child == parent_.size());
+  FUTRACE_CHECK(task_stack_.back() == parent);
+  parent_.push_back(parent);
+  kinds_.push_back(kind);
+  // Spawn edge: from the parent step that ends with the async statement to
+  // the child's first step.
+  const step_id child_first = graph_.add_step(child);
+  graph_.add_edge(current_step_[parent], child_first, edge_kind::spawn);
+  current_step_.push_back(child_first);
+  task_stack_.push_back(child);
+}
+
+void graph_recorder::on_task_end(futrace::task_id t) {
+  FUTRACE_CHECK(task_stack_.back() == t);
+  task_stack_.pop_back();
+  // The parent resumes in a fresh step (the continuation after the async);
+  // the root has no parent to resume.
+  if (!task_stack_.empty()) advance_step(task_stack_.back());
+}
+
+void graph_recorder::on_finish_start(futrace::task_id owner) {
+  // The statements inside the finish form a new step.
+  advance_step(owner);
+}
+
+void graph_recorder::on_finish_end(futrace::task_id owner,
+                                   std::span<const futrace::task_id> joined) {
+  // The step immediately following the finish receives a join edge from the
+  // last step of every task whose IEF this was; the owner is an ancestor of
+  // all of them, so these are tree joins.
+  const step_id after = advance_step(owner);
+  for (const futrace::task_id t : joined) {
+    graph_.add_edge(last_step(t), after, edge_kind::join_tree);
+  }
+}
+
+void graph_recorder::on_get(futrace::task_id waiter,
+                            futrace::task_id target) {
+  // Join edge from the target's last step to the step immediately following
+  // the get (paper §3); tree join iff the waiter is an ancestor of the
+  // target.
+  const step_id after = advance_step(waiter);
+  const edge_kind kind = is_ancestor(waiter, target)
+                             ? edge_kind::join_tree
+                             : edge_kind::join_non_tree;
+  graph_.add_edge(last_step(target), after, kind);
+}
+
+bool graph_recorder::is_ancestor(futrace::task_id a,
+                                 futrace::task_id d) const {
+  futrace::task_id walk = parent_[d];
+  while (walk != futrace::k_invalid_task) {
+    if (walk == a) return true;
+    walk = parent_[walk];
+  }
+  return false;
+}
+
+step_id graph_recorder::advance_step(futrace::task_id t) {
+  const step_id prev = current_step_[t];
+  const step_id next = graph_.add_step(t);
+  graph_.add_edge(prev, next, edge_kind::continuation);
+  current_step_[t] = next;
+  return next;
+}
+
+}  // namespace futrace::graph

@@ -1,0 +1,164 @@
+#include "futrace/progen/random_program.hpp"
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::progen {
+
+random_program::random_program(progen_config config)
+    : config_(config), rng_(config.seed) {
+  FUTRACE_CHECK(config_.num_vars > 0);
+  FUTRACE_CHECK(config_.min_stmts >= 1 &&
+                config_.min_stmts <= config_.max_stmts);
+}
+
+void random_program::operator()() {
+  vars_.assign(static_cast<std::size_t>(config_.num_vars), 0);
+  pool_.clear();
+  promises_.clear();
+  if (!config_.safe_handles) {
+    registry_.assign(static_cast<std::size_t>(config_.max_tasks) + 1,
+                     future<int>{});
+  }
+  rng_ = support::xoshiro256(config_.seed);
+  tasks_spawned_ = 0;
+  stats_ = progen_stats{};
+  visible_state root_visible;
+  body(0, root_visible);
+}
+
+bool random_program::pick_get_target(const visible_state& visible,
+                                     std::uint32_t& out) {
+  if (config_.safe_handles) {
+    if (visible.futures.empty()) return false;
+    out = visible.futures[rng_.below(visible.futures.size())];
+    return true;
+  }
+  // Unsafe mode: any valid (settled or pending-slot-filled) pool entry. A
+  // slot is invalid only while its own body is still on the stack, i.e. for
+  // our own ancestors — skip those with a bounded number of retries.
+  if (pool_.empty()) return false;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::uint32_t i =
+        static_cast<std::uint32_t>(rng_.below(pool_.size()));
+    if (pool_[i].f.valid()) {
+      out = i;
+      return true;
+    }
+  }
+  return false;
+}
+
+void random_program::body(int depth, visible_state& visible) {
+  const int stmts = static_cast<int>(
+      rng_.range(config_.min_stmts, config_.max_stmts));
+  for (int s = 0; s < stmts; ++s) {
+    const bool can_spawn =
+        depth < config_.max_depth && tasks_spawned_ < config_.max_tasks;
+    const bool can_get =
+        config_.safe_handles ? !visible.futures.empty() : !pool_.empty();
+
+    // Puttable / joinable visible promises (checked against live state:
+    // deterministic, since the serial execution order is fixed).
+    std::uint32_t puttable = k_invalid_task;
+    std::uint32_t gettable = k_invalid_task;
+    for (const std::uint32_t i : visible.promises) {
+      if (promises_[i].is_fulfilled()) {
+        gettable = i;
+      } else {
+        puttable = i;
+      }
+    }
+
+    double w_read = config_.w_read;
+    double w_write = config_.w_write;
+    double w_async = can_spawn ? config_.w_async : 0.0;
+    double w_future = can_spawn ? config_.w_future : 0.0;
+    double w_finish = depth < config_.max_depth ? config_.w_finish : 0.0;
+    double w_get = can_get ? config_.w_get : 0.0;
+    double w_promise = config_.w_promise;
+    double w_put = puttable != k_invalid_task ? config_.w_put : 0.0;
+    double w_pget = gettable != k_invalid_task ? config_.w_promise_get : 0.0;
+    const double total = w_read + w_write + w_async + w_future + w_finish +
+                         w_get + w_promise + w_put + w_pget;
+    double pick = rng_.uniform() * total;
+
+    const auto var = [this] {
+      return static_cast<std::size_t>(rng_.below(config_.num_vars));
+    };
+
+    if ((pick -= w_read) < 0) {
+      ++stats_.reads;
+      (void)vars_.read(var());
+    } else if ((pick -= w_write) < 0) {
+      ++stats_.writes;
+      vars_.write(var(), static_cast<int>(rng_() & 0xFFFF));
+    } else if ((pick -= w_async) < 0) {
+      ++stats_.asyncs;
+      ++tasks_spawned_;
+      // Async children receive the handles visible at their spawn by value
+      // (race-free flow); they cannot export anything back.
+      visible_state snapshot = visible;
+      async([this, depth, snapshot]() mutable { body(depth + 1, snapshot); });
+    } else if ((pick -= w_future) < 0) {
+      ++stats_.futures;
+      ++tasks_spawned_;
+      const auto idx = static_cast<std::uint32_t>(pool_.size());
+      pool_.push_back(pool_entry{});
+      visible_state snapshot = visible;
+      future<int> f =
+          async_future([this, depth, idx, snapshot]() mutable {
+            body(depth + 1, snapshot);
+            // Everything visible at completion is returnable by value.
+            pool_[idx].exported = std::move(snapshot);
+            return static_cast<int>(rng_() & 0xFF);
+          });
+      pool_[idx].f = f;
+      if (!config_.safe_handles) {
+        // Publish the handle through an instrumented heap cell, as the
+        // paper's instrumented HJ programs do.
+        registry_.write(idx, f);
+      }
+      visible.futures.push_back(idx);
+    } else if ((pick -= w_finish) < 0) {
+      ++stats_.finishes;
+      finish([this, depth, &visible] { body(depth + 1, visible); });
+    } else if ((pick -= w_get) < 0) {
+      std::uint32_t target = 0;
+      if (pick_get_target(visible, target)) {
+        ++stats_.gets;
+        if (config_.safe_handles) {
+          (void)pool_[target].f.get();
+          // Joining a future legally imports the handles it could return.
+          const visible_state& exported = pool_[target].exported;
+          if (visible.futures.size() < 4096) {
+            visible.futures.insert(visible.futures.end(),
+                                   exported.futures.begin(),
+                                   exported.futures.end());
+          }
+          if (visible.promises.size() < 4096) {
+            visible.promises.insert(visible.promises.end(),
+                                    exported.promises.begin(),
+                                    exported.promises.end());
+          }
+        } else {
+          // Instrumented handle load; racy flows show up as races here.
+          future<int> f = registry_.read(target);
+          if (f.valid()) (void)f.get();
+        }
+      }
+    } else if ((pick -= w_promise) < 0) {
+      ++stats_.promises;
+      visible.promises.push_back(
+          static_cast<std::uint32_t>(promises_.size()));
+      promises_.emplace_back();
+    } else if ((pick -= w_put) < 0) {
+      ++stats_.puts;
+      promises_[puttable].put(static_cast<int>(rng_() & 0xFF));
+    } else {
+      ++stats_.promise_gets;
+      (void)promises_[gettable].get();
+    }
+  }
+}
+
+}  // namespace futrace::progen

@@ -1,0 +1,269 @@
+/// Parallel engine: help-first work-stealing execution of async / finish /
+/// future programs. No observers fire here — the paper's detector is defined
+/// over the serial depth-first execution — but the same program text runs
+/// unchanged, which is how a user deploys a program after checking it.
+///
+/// Blocking operations (finish_end, future get) "help while waiting": the
+/// blocked worker drains its own deque and steals from others until its
+/// condition holds. A watchdog turns a permanently stalled wait (cyclic
+/// future dependences, paper Appendix A) into a deadlock_error instead of a
+/// silent hang.
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engines.hpp"
+#include "futrace/runtime/ws_deque.hpp"
+#include "futrace/support/assert.hpp"
+
+namespace futrace::detail {
+
+namespace {
+
+class parallel_engine final : public engine {
+ public:
+  explicit parallel_engine(unsigned workers)
+      : engine(exec_mode::parallel),
+        worker_count_(workers == 0
+                          ? std::max(1u, std::thread::hardware_concurrency())
+                          : workers) {
+    workers_.reserve(worker_count_);
+    for (unsigned i = 0; i < worker_count_; ++i) {
+      workers_.push_back(std::make_unique<worker>());
+    }
+  }
+
+  ~parallel_engine() override { stop_threads(); }
+
+  void run_program(const std::function<void()>& main_fn) override {
+    FUTRACE_CHECK_MSG(!running_, "run_program is not reentrant");
+    running_ = true;
+    done_.store(false, std::memory_order_relaxed);
+    for (unsigned i = 1; i < worker_count_; ++i) {
+      workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+    }
+    // The calling thread is worker 0 and executes main() directly.
+    tls_ = tl_state{this, 0, nullptr};
+    std::exception_ptr program_error;
+    finish_begin();  // implicit finish around main()
+    try {
+      main_fn();
+    } catch (...) {
+      program_error = std::current_exception();
+    }
+    try {
+      finish_end();
+    } catch (...) {
+      if (!program_error) program_error = std::current_exception();
+    }
+    tls_ = tl_state{};
+    stop_threads();
+    running_ = false;
+    if (program_error) std::rethrow_exception(program_error);
+  }
+
+  task_id spawn_begin(task_kind) override {
+    throw usage_error("inline spawning is not used by the parallel engine");
+  }
+  void spawn_end() override {}
+
+  void parallel_spawn(std::function<void()> body) override {
+    tl_state& t = tls_;
+    FUTRACE_CHECK_MSG(t.eng == this,
+                      "async called from a thread outside the pool");
+    auto* pt = new ptask{std::move(body), t.current_finish};
+    pt->ief->pending.fetch_add(1, std::memory_order_relaxed);
+    tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+    workers_[t.index]->deque.push(pt);
+  }
+
+  void finish_begin() override {
+    tl_state& t = tls_;
+    FUTRACE_CHECK_MSG(t.eng == this, "finish outside the pool");
+    auto* frame = new pfinish{};
+    frame->parent = t.current_finish;
+    t.current_finish = frame;
+  }
+
+  void finish_end() override {
+    tl_state& t = tls_;
+    pfinish* frame = t.current_finish;
+    FUTRACE_CHECK_MSG(frame != nullptr, "unbalanced finish_end");
+    stall_watchdog watchdog("finish did not quiesce");
+    while (frame->pending.load(std::memory_order_acquire) != 0) {
+      if (!try_help()) watchdog.stalled();
+    }
+    t.current_finish = frame->parent;
+    std::exception_ptr err = frame->take_error();
+    delete frame;
+    if (err) std::rethrow_exception(err);
+  }
+
+  void wait_future(future_state_base& state) override {
+    tl_state& t = tls_;
+    FUTRACE_CHECK_MSG(t.eng == this, "get() from a thread outside the pool");
+    stall_watchdog watchdog(
+        "future never completed: the program has a cyclic future dependence "
+        "(deadlock, paper Appendix A) or a lost task");
+    while (!state.settled()) {
+      if (!try_help()) watchdog.stalled();
+    }
+  }
+
+  void promise_fulfilled(future_state_base& state) override {
+    state.publish(future_state_base::k_ready);
+  }
+
+  void wait_promise(future_state_base& state) override {
+    tl_state& t = tls_;
+    FUTRACE_CHECK_MSG(t.eng == this, "get() from a thread outside the pool");
+    stall_watchdog watchdog(
+        "promise never fulfilled: the program deadlocks (paper Appendix A) "
+        "or the put() was lost");
+    while (!state.settled()) {
+      if (!try_help()) watchdog.stalled();
+    }
+  }
+
+  void note_read(const void*, std::size_t, access_site) override {}
+  void note_write(const void*, std::size_t, access_site) override {}
+
+  task_id current_task() const override { return k_invalid_task; }
+
+  std::uint64_t tasks_spawned() const override {
+    return tasks_spawned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct pfinish {
+    std::atomic<std::int64_t> pending{0};
+    pfinish* parent = nullptr;
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    void record_error(std::exception_ptr e) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::move(e);
+    }
+    std::exception_ptr take_error() {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      return std::move(first_error);
+    }
+  };
+
+  struct ptask {
+    std::function<void()> body;
+    pfinish* ief;
+  };
+
+  struct worker {
+    ws_deque<ptask*> deque;
+    std::thread thread;
+  };
+
+  struct tl_state {
+    parallel_engine* eng = nullptr;
+    unsigned index = 0;
+    pfinish* current_finish = nullptr;
+  };
+
+  /// Converts a permanently stalled help-loop into a deadlock_error after
+  /// ~10 seconds without any runnable work.
+  class stall_watchdog {
+   public:
+    explicit stall_watchdog(const char* what) : what_(what) {}
+
+    void stalled() {
+      if ((++spins_ & 0x3FF) == 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (start_ == std::chrono::steady_clock::time_point{}) {
+          start_ = now;
+        } else if (now - start_ > std::chrono::seconds(10)) {
+          throw deadlock_error(what_);
+        }
+        std::this_thread::yield();
+      }
+    }
+
+   private:
+    const char* what_;
+    std::uint64_t spins_ = 0;
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+  void worker_loop(unsigned index) {
+    tls_ = tl_state{this, index, nullptr};
+    // Task bodies running on this thread use the public API, which routes
+    // through the ambient context.
+    ctx() = context{this, false};
+    while (!done_.load(std::memory_order_acquire)) {
+      if (!try_help()) {
+        // Brief backoff; stealing is retried immediately after.
+        std::this_thread::yield();
+      }
+    }
+    ctx() = context{};
+    tls_ = tl_state{};
+  }
+
+  bool try_help() {
+    tl_state& t = tls_;
+    if (auto pt = workers_[t.index]->deque.pop()) {
+      run_task(*pt);
+      return true;
+    }
+    // Steal sweep starting from a pseudo-random victim.
+    const unsigned start = steal_cursor_.fetch_add(1, std::memory_order_relaxed);
+    for (unsigned k = 0; k < worker_count_; ++k) {
+      const unsigned victim = (start + k) % worker_count_;
+      if (victim == t.index) continue;
+      if (auto pt = workers_[victim]->deque.steal()) {
+        run_task(*pt);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void run_task(ptask* pt) {
+    tl_state& t = tls_;
+    pfinish* saved = t.current_finish;
+    t.current_finish = pt->ief;
+    try {
+      pt->body();
+    } catch (...) {
+      pt->ief->record_error(std::current_exception());
+    }
+    t.current_finish = saved;
+    pt->ief->pending.fetch_sub(1, std::memory_order_release);
+    delete pt;
+  }
+
+  void stop_threads() {
+    done_.store(true, std::memory_order_release);
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+
+  const unsigned worker_count_;
+  std::vector<std::unique_ptr<worker>> workers_;
+  std::atomic<bool> done_{false};
+  std::atomic<unsigned> steal_cursor_{0};
+  std::atomic<std::uint64_t> tasks_spawned_{0};
+  bool running_ = false;
+
+  static thread_local tl_state tls_;
+};
+
+thread_local parallel_engine::tl_state parallel_engine::tls_{};
+
+}  // namespace
+
+std::unique_ptr<engine> make_parallel_engine(unsigned workers) {
+  return std::make_unique<parallel_engine>(workers);
+}
+
+}  // namespace futrace::detail

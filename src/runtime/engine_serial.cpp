@@ -1,0 +1,270 @@
+/// Serial engines: the elision engine (paper §A.1, the "Seq" baseline) and
+/// the serial depth-first engine that drives observers (the execution the
+/// detection algorithm is defined over).
+
+#include <vector>
+
+#include "engines.hpp"
+#include "futrace/support/assert.hpp"
+
+namespace futrace::detail {
+
+namespace {
+
+/// Serial elision: every construct erased; nothing tracked.
+class elision_engine final : public engine {
+ public:
+  elision_engine() : engine(exec_mode::serial_elision) {}
+
+  void run_program(const std::function<void()>& main_fn) override {
+    main_fn();
+  }
+
+  task_id spawn_begin(task_kind) override {
+    throw usage_error("spawn_begin is not reachable in elision mode");
+  }
+  void spawn_end() override {}
+  void finish_begin() override {}
+  void finish_end() override {}
+
+  void wait_future(future_state_base& state) override {
+    FUTRACE_CHECK_MSG(state.settled(),
+                      "elision-mode future must be complete at get()");
+  }
+
+  void promise_fulfilled(future_state_base& state) override {
+    state.publish(future_state_base::k_ready);
+  }
+
+  void wait_promise(future_state_base& state) override {
+    if (!state.settled()) {
+      throw deadlock_error(
+          "promise.get() before its put() in the serial elision order: the "
+          "program deadlocks in some schedule (paper Appendix A)");
+    }
+  }
+
+  void note_read(const void*, std::size_t, access_site) override {}
+  void note_write(const void*, std::size_t, access_site) override {}
+
+  task_id current_task() const override { return k_invalid_task; }
+  std::uint64_t tasks_spawned() const override { return 0; }
+};
+
+/// Serial depth-first execution with full observer events. Task bodies run
+/// inline at their spawn point, which is exactly the order of the serial
+/// elision — the property the detection algorithm requires (paper §4.1).
+///
+/// promise.put() splits the current task: the remainder of its body becomes
+/// an inline *continuation* task (see promise.hpp), so the task stack holds
+/// chains of the form [..., T, T', T''] where T'/T'' continue T. The
+/// continuation joins the same finish frame T registered with.
+class serial_engine final : public engine {
+ public:
+  explicit serial_engine(std::vector<execution_observer*> observers)
+      : engine(exec_mode::serial_dfs), observers_(std::move(observers)) {}
+
+  void run_program(const std::function<void()>& main_fn) override {
+    FUTRACE_CHECK_MSG(task_stack_.empty(), "run_program is not reentrant");
+    const task_id root = next_task_++;
+    task_stack_.push_back(
+        frame_entry{root, root, k_no_frame, false, put_counter_});
+    for (auto* obs : observers_) obs->on_program_start(root);
+    // The implicit finish surrounding main() (paper §2).
+    finish_begin();
+    try {
+      main_fn();
+    } catch (...) {
+      finish_end();
+      end_root();
+      throw;
+    }
+    finish_end();
+    end_root();
+  }
+
+  task_id spawn_begin(task_kind kind) override {
+    FUTRACE_CHECK_MSG(!task_stack_.empty(),
+                      "async/future outside runtime::run()");
+    const task_id parent = task_stack_.back().id;
+    const task_id child = next_task_++;
+    FUTRACE_CHECK_MSG(!finish_stack_.empty(), "no enclosing finish scope");
+    // Register with the Immediately Enclosing Finish: *every* task, futures
+    // included, joins its IEF when that finish ends (paper §3, join edges).
+    const std::uint32_t ief =
+        static_cast<std::uint32_t>(finish_stack_.size() - 1);
+    finish_stack_.back().joined.push_back(child);
+    for (auto* obs : observers_) obs->on_task_spawn(parent, child, kind);
+    task_stack_.push_back(frame_entry{child, child, ief, false, put_counter_});
+    return child;
+  }
+
+  void spawn_end() override {
+    // Close continuations opened by put() inside this task's body, then the
+    // task itself; depth-first nesting guarantees they are all on top.
+    end_continuations();
+    FUTRACE_DCHECK(task_stack_.size() > 1);
+    const task_id child = task_stack_.back().id;
+    task_stack_.pop_back();
+    for (auto* obs : observers_) obs->on_task_end(child);
+    // If any promise was fulfilled inside the child's subtree, the resuming
+    // task's identity must split as well: its upcoming steps run *after*
+    // the put, so they must not be ordered before promise getters through
+    // ancestor subsumption (the fulfiller's ancestors were live at the put
+    // and would otherwise keep their pre-put identities).
+    if (task_stack_.back().puts_seen != put_counter_) split_current();
+  }
+
+  void finish_begin() override {
+    FUTRACE_CHECK_MSG(!task_stack_.empty(), "finish outside runtime::run()");
+    const task_id owner = task_stack_.back().id;
+    finish_stack_.push_back(finish_frame{owner, {}});
+    for (auto* obs : observers_) obs->on_finish_start(owner);
+  }
+
+  void finish_end() override {
+    FUTRACE_DCHECK(!finish_stack_.empty());
+    finish_frame& frame = finish_stack_.back();
+    FUTRACE_CHECK_MSG(on_continuation_chain(frame.owner),
+                      "finish scope must end in the task that opened it (or "
+                      "a continuation of it)");
+    // The join edges target the step *after* the finish, which executes in
+    // the current identity — a continuation of the opener if a promise was
+    // fulfilled inside the finish body. Reporting the opener instead would
+    // leak post-put orderings to promise getters (a soundness hole).
+    const task_id current = task_stack_.back().id;
+    for (auto* obs : observers_) {
+      obs->on_finish_end(current, std::span<const task_id>(frame.joined));
+    }
+    finish_stack_.pop_back();
+  }
+
+  void wait_future(future_state_base& state) override {
+    FUTRACE_CHECK_MSG(state.settled(),
+                      "serial depth-first execution order violated: get() on "
+                      "an incomplete future");
+    if (state.task == k_invalid_task) return;  // produced outside this run
+    const task_id waiter = task_stack_.back().id;
+    for (auto* obs : observers_) obs->on_get(waiter, state.task);
+  }
+
+  void promise_fulfilled(future_state_base& state) override {
+    FUTRACE_CHECK_MSG(!task_stack_.empty(), "put() outside runtime::run()");
+    state.task = task_stack_.back().id;
+    state.publish(future_state_base::k_ready);
+    for (auto* obs : observers_) obs->on_promise_put(state.task);
+    ++put_counter_;
+    // Split: the rest of this task's body runs as a continuation task (see
+    // promise.hpp); suspended ancestors split lazily when they resume
+    // (spawn_end checks put_counter_).
+    split_current();
+  }
+
+  void wait_promise(future_state_base& state) override {
+    if (!state.settled()) {
+      throw deadlock_error(
+          "promise.get() before its put() in depth-first order: the program "
+          "deadlocks in some schedule (paper Appendix A)");
+    }
+    if (state.task == k_invalid_task) return;
+    const task_id waiter = task_stack_.back().id;
+    for (auto* obs : observers_) obs->on_get(waiter, state.task);
+  }
+
+  void note_read(const void* addr, std::size_t size,
+                 access_site site) override {
+    const task_id t = task_stack_.back().id;
+    for (auto* obs : observers_) obs->on_read(t, addr, size, site);
+  }
+
+  void note_write(const void* addr, std::size_t size,
+                  access_site site) override {
+    const task_id t = task_stack_.back().id;
+    for (auto* obs : observers_) obs->on_write(t, addr, size, site);
+  }
+
+  task_id current_task() const override {
+    FUTRACE_CHECK_MSG(!task_stack_.empty(), "no task is executing");
+    return task_stack_.back().id;
+  }
+
+  std::uint64_t tasks_spawned() const override { return next_task_; }
+
+ private:
+  static constexpr std::uint32_t k_no_frame = 0xFFFFFFFFu;
+
+  struct frame_entry {
+    task_id id;
+    task_id base;             // original task of a continuation chain
+    std::uint32_t ief_frame;  // finish frame the task registered with
+    bool continuation;
+    std::uint64_t puts_seen = 0;  // put_counter_ when this identity began
+  };
+
+  /// Replaces the current identity with a fresh continuation task that
+  /// registers with the same finish frame (none for the root's chain).
+  void split_current() {
+    const frame_entry current = task_stack_.back();
+    const task_id cont = next_task_++;
+    if (current.ief_frame != k_no_frame) {
+      finish_stack_[current.ief_frame].joined.push_back(cont);
+    }
+    for (auto* obs : observers_) {
+      obs->on_task_spawn(current.id, cont, task_kind::continuation);
+    }
+    task_stack_.push_back(frame_entry{cont, current.base, current.ief_frame,
+                                      true, put_counter_});
+  }
+
+  struct finish_frame {
+    task_id owner;
+    std::vector<task_id> joined;  // tasks whose IEF this finish is
+  };
+
+  /// True iff `owner` is the current task or an earlier identity on the
+  /// current continuation chain.
+  bool on_continuation_chain(task_id owner) const {
+    for (auto it = task_stack_.rbegin(); it != task_stack_.rend(); ++it) {
+      if (it->id == owner) return true;
+      if (!it->continuation) return false;
+    }
+    return false;
+  }
+
+  void end_continuations() {
+    while (task_stack_.back().continuation) {
+      const task_id id = task_stack_.back().id;
+      task_stack_.pop_back();
+      for (auto* obs : observers_) obs->on_task_end(id);
+    }
+  }
+
+  void end_root() {
+    end_continuations();
+    const task_id root = task_stack_.back().id;
+    for (auto* obs : observers_) obs->on_task_end(root);
+    for (auto* obs : observers_) obs->on_program_end();
+    task_stack_.pop_back();
+    FUTRACE_DCHECK(task_stack_.empty());
+    FUTRACE_DCHECK(finish_stack_.empty());
+  }
+
+  std::vector<execution_observer*> observers_;
+  std::vector<frame_entry> task_stack_;
+  std::vector<finish_frame> finish_stack_;
+  task_id next_task_ = 0;
+  std::uint64_t put_counter_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<engine> make_elision_engine() {
+  return std::make_unique<elision_engine>();
+}
+
+std::unique_ptr<engine> make_serial_engine(
+    std::vector<execution_observer*> observers) {
+  return std::make_unique<serial_engine>(std::move(observers));
+}
+
+}  // namespace futrace::detail

@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file engines.hpp
+/// Private factory functions for the three execution engines. The concrete
+/// engine classes live entirely in their .cpp files.
+
+#include <memory>
+#include <vector>
+
+#include "futrace/runtime/engine.hpp"
+
+namespace futrace::detail {
+
+std::unique_ptr<engine> make_elision_engine();
+std::unique_ptr<engine> make_serial_engine(
+    std::vector<execution_observer*> observers);
+std::unique_ptr<engine> make_parallel_engine(unsigned workers);
+
+}  // namespace futrace::detail

@@ -1,0 +1,103 @@
+#include "futrace/runtime/api.hpp"
+
+#include "engines.hpp"
+#include "futrace/support/assert.hpp"
+
+namespace futrace {
+
+const char* task_kind_name(task_kind kind) {
+  switch (kind) {
+    case task_kind::root:
+      return "root";
+    case task_kind::async:
+      return "async";
+    case task_kind::future:
+      return "future";
+    case task_kind::continuation:
+      return "continuation";
+  }
+  return "?";
+}
+
+const char* exec_mode_name(exec_mode mode) {
+  switch (mode) {
+    case exec_mode::serial_elision:
+      return "serial-elision";
+    case exec_mode::serial_dfs:
+      return "serial-dfs";
+    case exec_mode::parallel:
+      return "parallel";
+  }
+  return "?";
+}
+
+namespace detail {
+
+void engine::parallel_spawn(std::function<void()>) {
+  throw usage_error("parallel_spawn is only available in parallel mode");
+}
+
+context& ctx() noexcept {
+  static thread_local context c;
+  return c;
+}
+
+engine& require_engine() {
+  context& c = ctx();
+  if (c.eng == nullptr) {
+    throw usage_error(
+        "async/finish/future constructs must execute inside runtime::run()");
+  }
+  return *c.eng;
+}
+
+}  // namespace detail
+
+runtime::runtime(runtime_config config) : config_(config) {}
+
+runtime::~runtime() = default;
+
+void runtime::add_observer(execution_observer* observer) {
+  FUTRACE_CHECK_MSG(observer != nullptr, "null observer");
+  FUTRACE_CHECK_MSG(config_.mode == exec_mode::serial_dfs,
+                    "observers require serial depth-first execution (the "
+                    "paper's detector runs on a 1-processor execution)");
+  FUTRACE_CHECK_MSG(!ran_, "observers must be attached before run()");
+  observers_.push_back(observer);
+}
+
+void runtime::run(const std::function<void()>& main_fn) {
+  FUTRACE_CHECK_MSG(!ran_, "a runtime instance hosts exactly one execution");
+  ran_ = true;
+
+  switch (config_.mode) {
+    case exec_mode::serial_elision:
+      engine_ = detail::make_elision_engine();
+      break;
+    case exec_mode::serial_dfs:
+      engine_ = detail::make_serial_engine(observers_);
+      break;
+    case exec_mode::parallel:
+      engine_ = detail::make_parallel_engine(config_.workers);
+      break;
+  }
+
+  detail::context& c = detail::ctx();
+  FUTRACE_CHECK_MSG(c.eng == nullptr, "runtime::run() does not nest");
+  c.eng = engine_.get();
+  c.instrument =
+      config_.mode == exec_mode::serial_dfs && !observers_.empty();
+  try {
+    engine_->run_program(main_fn);
+  } catch (...) {
+    c = detail::context{};
+    throw;
+  }
+  c = detail::context{};
+}
+
+std::uint64_t runtime::tasks_spawned() const {
+  return engine_ ? engine_->tasks_spawned() : 0;
+}
+
+}  // namespace futrace

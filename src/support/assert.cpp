@@ -1,0 +1,16 @@
+#include "futrace/support/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace futrace::support {
+
+[[noreturn]] void check_failed(const char* condition, const char* file,
+                               int line, const std::string& message) {
+  std::fprintf(stderr, "futrace: check failed: %s at %s:%d%s%s\n", condition,
+               file, line, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace futrace::support

@@ -1,0 +1,105 @@
+#include "futrace/support/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::support {
+
+flag_parser& flag_parser::define(const std::string& name,
+                                 const std::string& default_val,
+                                 const std::string& help) {
+  flags_[name] = flag_info{default_val, default_val, help};
+  return *this;
+}
+
+void flag_parser::parse(int argc, char** argv) {
+  program_name_ = argc > 0 ? argv[0] : "futrace";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    std::string name;
+    std::string value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      auto it = flags_.find(name);
+      // A registered flag without '=' consumes the next argv entry, except
+      // boolean flags, which may be given bare ("--verify").
+      if (it != flags_.end() &&
+          (it->second.default_value == "true" ||
+           it->second.default_value == "false") &&
+          (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0)) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
+                   usage().c_str());
+      std::exit(2);
+    }
+    it->second.value = value;
+  }
+}
+
+std::string flag_parser::get_string(const std::string& name) const {
+  auto it = flags_.find(name);
+  FUTRACE_CHECK_MSG(it != flags_.end(), "unregistered flag: " + name);
+  return it->second.value;
+}
+
+std::int64_t flag_parser::get_int(const std::string& name) const {
+  const std::string raw = get_string(name);
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  FUTRACE_CHECK_MSG(end && *end == '\0' && !raw.empty(),
+                    "flag --" + name + " expects an integer, got '" + raw +
+                        "'");
+  return v;
+}
+
+double flag_parser::get_double(const std::string& name) const {
+  const std::string raw = get_string(name);
+  char* end = nullptr;
+  const double v = std::strtod(raw.c_str(), &end);
+  FUTRACE_CHECK_MSG(end && *end == '\0' && !raw.empty(),
+                    "flag --" + name + " expects a number, got '" + raw + "'");
+  return v;
+}
+
+bool flag_parser::get_bool(const std::string& name) const {
+  const std::string raw = get_string(name);
+  if (raw == "true" || raw == "1" || raw == "yes") return true;
+  if (raw == "false" || raw == "0" || raw == "no") return false;
+  FUTRACE_CHECK_MSG(false, "flag --" + name + " expects a boolean, got '" +
+                               raw + "'");
+  return false;
+}
+
+std::string flag_parser::usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_name_ << " [flags]\n";
+  for (const auto& [name, info] : flags_) {
+    out << "  --" << name << " (default: " << info.default_value << ")\n"
+        << "      " << info.help << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace futrace::support

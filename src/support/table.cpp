@@ -1,0 +1,89 @@
+#include "futrace/support/table.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::support {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+        c != ',' && c != '-' && c != '+' && c != 'e' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+text_table::text_table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void text_table::add_row(std::vector<std::string> cells) {
+  FUTRACE_CHECK_MSG(cells.size() == headers_.size(),
+                    "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string text_table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const bool right = c > 0 && looks_numeric(row[c]);
+      const std::size_t pad = widths[c] - row[c].size();
+      out << (c == 0 ? "" : "  ");
+      if (right) out << std::string(pad, ' ');
+      out << row[c];
+      if (!right && c + 1 < row.size()) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void text_table::print(std::ostream& os) const { os << render(); }
+
+std::string text_table::with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string text_table::fixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace futrace::support

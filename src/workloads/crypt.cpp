@@ -1,0 +1,86 @@
+#include "futrace/workloads/crypt.hpp"
+
+#include <algorithm>
+
+#include "futrace/support/assert.hpp"
+#include "futrace/support/rng.hpp"
+
+namespace futrace::workloads {
+
+crypt_workload::crypt_workload(const crypt_config& config) : cfg_(config) {
+  FUTRACE_CHECK(cfg_.blocks_per_task >= 1);
+  cfg_.bytes = (cfg_.bytes + 7) / 8 * 8;
+  FUTRACE_CHECK(cfg_.bytes >= 8);
+
+  idea_key key{};
+  support::xoshiro256 rng(cfg_.seed);
+  for (auto& byte : key) byte = static_cast<std::uint8_t>(rng() & 0xFF);
+  enc_keys_ = idea_encrypt_subkeys(key);
+  dec_keys_ = idea_decrypt_subkeys(enc_keys_);
+}
+
+void crypt_workload::run_pass(const shared_array<std::uint8_t>& input,
+                              shared_array<std::uint8_t>& output,
+                              const idea_subkeys& keys) {
+  const std::size_t blocks = cfg_.bytes / 8;
+  const std::size_t stride = cfg_.blocks_per_task;
+  const std::size_t tasks = (blocks + stride - 1) / stride;
+
+  auto crypt_range = [&input, &output, &keys, blocks](std::size_t first_block,
+                                                      std::size_t count) {
+    std::uint8_t in[8];
+    std::uint8_t out[8];
+    const std::size_t end = std::min(first_block + count, blocks);
+    for (std::size_t b = first_block; b < end; ++b) {
+      const std::size_t off = b * 8;
+      for (std::size_t i = 0; i < 8; ++i) in[i] = input.read(off + i);
+      idea_crypt_block(in, out, keys);
+      for (std::size_t i = 0; i < 8; ++i) output.write(off + i, out[i]);
+    }
+  };
+
+  if (!cfg_.use_futures) {
+    finish([&] {
+      for (std::size_t t = 0; t < tasks; ++t) {
+        async([crypt_range, t, stride] { crypt_range(t * stride, stride); });
+      }
+    });
+    return;
+  }
+
+  handles_.assign(tasks, future<void>{});
+  for (std::size_t t = 0; t < tasks; ++t) {
+    handles_.write(t, async_future([crypt_range, t, stride] {
+      crypt_range(t * stride, stride);
+    }));
+  }
+  for (std::size_t t = 0; t < tasks; ++t) {
+    handles_.read(t).get();
+  }
+}
+
+void crypt_workload::operator()() {
+  plain_.assign(cfg_.bytes, 0);
+  encrypted_.assign(cfg_.bytes, 0);
+  decrypted_.assign(cfg_.bytes, 0);
+  // Initialize the plaintext without instrumentation (JGF does this in the
+  // untimed setup phase).
+  support::xoshiro256 rng(cfg_.seed ^ 0x9E3779B97F4A7C15ULL);
+  for (std::size_t i = 0; i < cfg_.bytes; ++i) {
+    plain_.poke(i, static_cast<std::uint8_t>(rng() & 0xFF));
+  }
+
+  run_pass(plain_, encrypted_, enc_keys_);
+  run_pass(encrypted_, decrypted_, dec_keys_);
+}
+
+bool crypt_workload::verify() const {
+  bool any_difference = false;
+  for (std::size_t i = 0; i < cfg_.bytes; ++i) {
+    if (plain_.peek(i) != decrypted_.peek(i)) return false;
+    any_difference |= plain_.peek(i) != encrypted_.peek(i);
+  }
+  return any_difference;
+}
+
+}  // namespace futrace::workloads

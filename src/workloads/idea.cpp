@@ -1,0 +1,131 @@
+#include "futrace/workloads/idea.hpp"
+
+namespace futrace::workloads {
+namespace {
+
+constexpr std::uint32_t k_modulus = 0x10001;  // 2^16 + 1
+
+std::uint16_t load_be16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+void store_be16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v & 0xFF);
+}
+
+std::uint16_t add_inv(std::uint16_t x) {
+  return static_cast<std::uint16_t>(0x10000 - x);
+}
+
+}  // namespace
+
+std::uint16_t idea_mul(std::uint16_t a, std::uint16_t b) {
+  // 0 encodes 2^16 ≡ -1 (mod 2^16+1), so 0 ⊙ b = -b and a ⊙ 0 = -a.
+  if (a == 0) return static_cast<std::uint16_t>((k_modulus - b) & 0xFFFF);
+  if (b == 0) return static_cast<std::uint16_t>((k_modulus - a) & 0xFFFF);
+  const std::uint32_t p = static_cast<std::uint32_t>(a) * b;
+  const std::uint32_t hi = p >> 16;
+  const std::uint32_t lo = p & 0xFFFF;
+  // lo - hi mod 2^16+1, with the borrow adding 1 (since 2^16 ≡ -1).
+  return static_cast<std::uint16_t>(lo - hi + (lo < hi ? 1 : 0));
+}
+
+std::uint16_t idea_mul_inv(std::uint16_t x) {
+  // Fermat: x^(m-2) mod m in the group where 0 encodes 2^16.
+  if (x <= 1) return x;  // 0 and 1 are self-inverse
+  std::uint64_t base = x;
+  std::uint64_t result = 1;
+  std::uint32_t exp = k_modulus - 2;
+  while (exp != 0) {
+    if (exp & 1) result = (result * base) % k_modulus;
+    base = (base * base) % k_modulus;
+    exp >>= 1;
+  }
+  return static_cast<std::uint16_t>(result & 0xFFFF);
+}
+
+idea_subkeys idea_encrypt_subkeys(const idea_key& key) {
+  idea_subkeys keys{};
+  // First 8 subkeys are the user key itself.
+  for (int i = 0; i < 8; ++i) keys[i] = load_be16(&key[2 * i]);
+  // Remaining subkeys: each batch of 8 reads the 128-bit key rotated left by
+  // 25 bits relative to the previous batch (standard PGP formulation).
+  for (int i = 8; i < 52; ++i) {
+    std::uint16_t hi, lo;
+    if ((i & 7) < 6) {
+      hi = keys[i - 7];
+      lo = keys[i - 6];
+    } else if ((i & 7) == 6) {
+      hi = keys[i - 7];
+      lo = keys[i - 14];
+    } else {
+      hi = keys[i - 15];
+      lo = keys[i - 14];
+    }
+    keys[i] = static_cast<std::uint16_t>(((hi & 0x7F) << 9) | (lo >> 7));
+  }
+  return keys;
+}
+
+idea_subkeys idea_decrypt_subkeys(const idea_subkeys& enc) {
+  idea_subkeys dec{};
+  // Output transform of decryption uses the inverse of the input transform.
+  dec[0] = idea_mul_inv(enc[48]);
+  dec[1] = add_inv(enc[49]);
+  dec[2] = add_inv(enc[50]);
+  dec[3] = idea_mul_inv(enc[51]);
+  dec[4] = enc[46];
+  dec[5] = enc[47];
+  for (int round = 1; round < 8; ++round) {
+    const int e = 48 - 6 * round;  // start of the matching encryption round
+    const int d = 6 * round;
+    dec[d + 0] = idea_mul_inv(enc[e]);
+    // Middle rounds swap the two addition subkeys (the round function swaps
+    // the inner words).
+    dec[d + 1] = add_inv(enc[e + 2]);
+    dec[d + 2] = add_inv(enc[e + 1]);
+    dec[d + 3] = idea_mul_inv(enc[e + 3]);
+    dec[d + 4] = enc[e - 2];
+    dec[d + 5] = enc[e - 1];
+  }
+  dec[48] = idea_mul_inv(enc[0]);
+  dec[49] = add_inv(enc[1]);
+  dec[50] = add_inv(enc[2]);
+  dec[51] = idea_mul_inv(enc[3]);
+  return dec;
+}
+
+void idea_crypt_block(const std::uint8_t in[8], std::uint8_t out[8],
+                      const idea_subkeys& keys) {
+  std::uint16_t x1 = load_be16(in);
+  std::uint16_t x2 = load_be16(in + 2);
+  std::uint16_t x3 = load_be16(in + 4);
+  std::uint16_t x4 = load_be16(in + 6);
+
+  int p = 0;
+  for (int round = 0; round < 8; ++round) {
+    x1 = idea_mul(x1, keys[p++]);
+    x2 = static_cast<std::uint16_t>(x2 + keys[p++]);
+    x3 = static_cast<std::uint16_t>(x3 + keys[p++]);
+    x4 = idea_mul(x4, keys[p++]);
+
+    const std::uint16_t t2 = x2;
+    const std::uint16_t t3 = x3;
+    x3 = idea_mul(static_cast<std::uint16_t>(x1 ^ x3), keys[p++]);
+    x2 = idea_mul(static_cast<std::uint16_t>((x2 ^ x4) + x3), keys[p++]);
+    x3 = static_cast<std::uint16_t>(x3 + x2);
+
+    x1 ^= x2;
+    x4 ^= x3;
+    x2 ^= t3;
+    x3 ^= t2;
+  }
+
+  store_be16(out, idea_mul(x1, keys[48]));
+  store_be16(out + 2, static_cast<std::uint16_t>(x3 + keys[49]));
+  store_be16(out + 4, static_cast<std::uint16_t>(x2 + keys[50]));
+  store_be16(out + 6, idea_mul(x4, keys[51]));
+}
+
+}  // namespace futrace::workloads

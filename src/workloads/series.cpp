@@ -1,0 +1,114 @@
+#include "futrace/workloads/series.hpp"
+
+#include <cmath>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::workloads {
+namespace {
+
+constexpr double k_period = 2.0;
+
+double the_function(double x, double omega_n, int select) {
+  // JGF Series kernel: f, f·cos(ω·x), f·sin(ω·x) for f(x) = (x+1)^x.
+  const double base = std::pow(x + 1.0, x);
+  switch (select) {
+    case 0:
+      return base;
+    case 1:
+      return base * std::cos(omega_n * x);
+    default:
+      return base * std::sin(omega_n * x);
+  }
+}
+
+double trapezoid_integrate(double x0, double x1, int nsteps, double omega_n,
+                           int select) {
+  const double dx = (x1 - x0) / nsteps;
+  double x = x0;
+  double value = the_function(x0, omega_n, select) / 2.0;
+  for (int i = 1; i < nsteps; ++i) {
+    x += dx;
+    value += the_function(x, omega_n, select);
+  }
+  value += the_function(x1, omega_n, select) / 2.0;
+  return value * dx;
+}
+
+}  // namespace
+
+series_workload::series_workload(const series_config& config) : cfg_(config) {
+  FUTRACE_CHECK(cfg_.coefficients >= 1);
+  FUTRACE_CHECK(cfg_.integration_points >= 2);
+}
+
+double series_workload::coefficient(std::size_t i, bool sine) const {
+  const double omega = 2.0 * M_PI * static_cast<double>(i) / k_period;
+  return 2.0 / k_period *
+         trapezoid_integrate(0.0, k_period, cfg_.integration_points, omega,
+                             sine ? 2 : 1);
+}
+
+void series_workload::operator()() {
+  const std::size_t n = cfg_.coefficients;
+  a_.assign(n + 1, 0.0);
+  b_.assign(n + 1, 0.0);
+
+  // a_0 is computed by the main task, as in JGF.
+  a_.write(0, trapezoid_integrate(0.0, k_period, cfg_.integration_points,
+                                  0.0, 0) /
+                  k_period);
+  b_.write(0, 0.0);
+
+  if (!cfg_.use_futures) {
+    finish([&] {
+      for (std::size_t i = 1; i <= n; ++i) {
+        async([this, i] {
+          a_.write(i, coefficient(i, /*sine=*/false));
+          b_.write(i, coefficient(i, /*sine=*/true));
+        });
+      }
+    });
+    return;
+  }
+
+  // Future variant: handles live in shared memory (one instrumented write at
+  // creation, one instrumented read at the join), matching the paper's
+  // "+2 accesses per future task" lower bound.
+  handles_.assign(n + 1, future<void>{});
+  for (std::size_t i = 1; i <= n; ++i) {
+    handles_.write(i, async_future([this, i] {
+      a_.write(i, coefficient(i, /*sine=*/false));
+      b_.write(i, coefficient(i, /*sine=*/true));
+    }));
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    handles_.read(i).get();
+  }
+}
+
+bool series_workload::verify() const {
+  const std::size_t n = cfg_.coefficients;
+  const std::size_t probes[] = {1, n / 2 + 1, n};
+  for (const std::size_t i : probes) {
+    if (i < 1 || i > n) continue;
+    if (std::abs(a_.peek(i) - coefficient(i, false)) > 1e-12) return false;
+    if (std::abs(b_.peek(i) - coefficient(i, true)) > 1e-12) return false;
+  }
+  // a_0 recomputed the same way must match bit-for-bit, and land near
+  // JGF's reference value 2.8730 (loosely: the trapezoid grid may be coarse).
+  const double a0 = trapezoid_integrate(0.0, k_period, cfg_.integration_points,
+                                        0.0, 0) /
+                    k_period;
+  return a_.peek(0) == a0 && std::abs(a0 - 2.8730) < 0.2;
+}
+
+double series_workload::checksum() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i <= cfg_.coefficients; ++i) {
+    sum += a_.peek(i) + b_.peek(i);
+  }
+  return sum;
+}
+
+}  // namespace futrace::workloads

@@ -1,0 +1,91 @@
+#include "futrace/workloads/smith_waterman.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "futrace/support/assert.hpp"
+#include "futrace/support/rng.hpp"
+
+namespace futrace::workloads {
+
+sw_workload::sw_workload(const sw_config& config) : cfg_(config) {
+  FUTRACE_CHECK(cfg_.rows >= 1 && cfg_.cols >= 1 && cfg_.tile >= 1);
+  support::xoshiro256 rng(cfg_.seed);
+  seq_a_.resize(cfg_.rows);
+  seq_b_.resize(cfg_.cols);
+  for (auto& c : seq_a_) c = static_cast<std::uint8_t>(rng.below(4));
+  for (auto& c : seq_b_) c = static_cast<std::uint8_t>(rng.below(4));
+}
+
+void sw_workload::operator()() {
+  const std::size_t rows = cfg_.rows;
+  const std::size_t cols = cfg_.cols;
+  h_.assign((rows + 1) * (cols + 1), 0);
+
+  const std::size_t tiles_r = (rows + cfg_.tile - 1) / cfg_.tile;
+  const std::size_t tiles_c = (cols + cfg_.tile - 1) / cfg_.tile;
+  std::vector<future<int>> done(tiles_r * tiles_c);
+
+  for (std::size_t ti = 0; ti < tiles_r; ++ti) {
+    for (std::size_t tj = 0; tj < tiles_c; ++tj) {
+      std::vector<future<int>> deps;
+      if (ti > 0) deps.push_back(done[(ti - 1) * tiles_c + tj]);
+      if (tj > 0) deps.push_back(done[ti * tiles_c + tj - 1]);
+      if (ti > 0 && tj > 0) deps.push_back(done[(ti - 1) * tiles_c + tj - 1]);
+
+      const std::size_t r0 = 1 + ti * cfg_.tile;
+      const std::size_t r1 = std::min(r0 + cfg_.tile, rows + 1);
+      const std::size_t c0 = 1 + tj * cfg_.tile;
+      const std::size_t c1 = std::min(c0 + cfg_.tile, cols + 1);
+
+      done[ti * tiles_c + tj] = async_future([this, deps, r0, r1, c0, c1] {
+        for (const auto& f : deps) (void)f.get();
+        int tile_best = 0;
+        for (std::size_t r = r0; r < r1; ++r) {
+          for (std::size_t c = c0; c < c1; ++c) {
+            const int diag = h_.read(index(r - 1, c - 1)) +
+                             score(seq_a_[r - 1], seq_b_[c - 1]);
+            const int up = h_.read(index(r - 1, c)) + cfg_.gap;
+            const int left = h_.read(index(r, c - 1)) + cfg_.gap;
+            const int v = std::max({0, diag, up, left});
+            h_.write(index(r, c), v);
+            tile_best = std::max(tile_best, v);
+          }
+        }
+        return tile_best;
+      });
+    }
+  }
+
+  int best = 0;
+  for (auto& f : done) best = std::max(best, f.get());
+  best_ = best;
+}
+
+std::vector<int> sw_workload::reference() const {
+  const std::size_t rows = cfg_.rows;
+  const std::size_t cols = cfg_.cols;
+  std::vector<int> ref((rows + 1) * (cols + 1), 0);
+  for (std::size_t r = 1; r <= rows; ++r) {
+    for (std::size_t c = 1; c <= cols; ++c) {
+      const int diag = ref[(r - 1) * (cols + 1) + c - 1] +
+                       score(seq_a_[r - 1], seq_b_[c - 1]);
+      const int up = ref[(r - 1) * (cols + 1) + c] + cfg_.gap;
+      const int left = ref[r * (cols + 1) + c - 1] + cfg_.gap;
+      ref[r * (cols + 1) + c] = std::max({0, diag, up, left});
+    }
+  }
+  return ref;
+}
+
+bool sw_workload::verify() const {
+  const std::vector<int> ref = reference();
+  int ref_best = 0;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (h_.peek(i) != ref[i]) return false;
+    ref_best = std::max(ref_best, ref[i]);
+  }
+  return best_ == ref_best;
+}
+
+}  // namespace futrace::workloads

@@ -1,0 +1,194 @@
+// Tests for the baseline detectors: the brute-force oracle, ESP-bags
+// (async-finish only), and the vector-clock detector.
+
+#include <gtest/gtest.h>
+
+#include "futrace/baselines/esp_bags_detector.hpp"
+#include "futrace/baselines/oracle_detector.hpp"
+#include "futrace/baselines/vector_clock_detector.hpp"
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace::baselines {
+namespace {
+
+template <typename Detector, typename Fn>
+Detector run_under(Fn&& program) {
+  Detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run(std::forward<Fn>(program));
+  return det;
+}
+
+// ---------------------------------------------------------------------- oracle
+
+TEST(OracleDetector, CleanFinishProgram) {
+  auto det = run_under<oracle_detector>([] {
+    shared<int> x(0);
+    finish([&] { async([&] { x.write(1); }); });
+    (void)x.read();
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(OracleDetector, CatchesSiblingWriteWrite) {
+  auto det = run_under<oracle_detector>([] {
+    shared<int> x(0);
+    async([&] { x.write(1); });
+    async([&] { x.write(2); });
+  });
+  EXPECT_TRUE(det.race_detected());
+  EXPECT_EQ(det.racy_locations().size(), 1u);
+}
+
+TEST(OracleDetector, FutureJoinOrdersAccesses) {
+  auto det = run_under<oracle_detector>([] {
+    shared<int> x(0);
+    auto f = async_future([&] { x.write(1); });
+    f.get();
+    (void)x.read();
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(OracleDetector, StepGranularityWithinOneTask) {
+  // Accesses before and after spawning a child are different steps; the
+  // oracle must still see them as ordered (continue edges).
+  auto det = run_under<oracle_detector>([] {
+    shared<int> x(0);
+    x.write(1);
+    finish([&] { async([] {}); });
+    x.write(2);
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+// -------------------------------------------------------------------- ESP-bags
+
+TEST(EspBags, CleanFinishProgram) {
+  auto det = run_under<esp_bags_detector>([] {
+    shared<int> x(0);
+    finish([&] { async([&] { x.write(1); }); });
+    (void)x.read();
+    x.write(2);
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(EspBags, CatchesUnsynchronizedSiblings) {
+  auto det = run_under<esp_bags_detector>([] {
+    shared<int> x(0);
+    async([&] { x.write(1); });
+    async([&] { x.write(2); });
+  });
+  EXPECT_TRUE(det.race_detected());
+}
+
+TEST(EspBags, CatchesParentChildRace) {
+  auto det = run_under<esp_bags_detector>([] {
+    shared<int> x(0);
+    async([&] { x.write(1); });
+    (void)x.read();
+  });
+  EXPECT_TRUE(det.race_detected());
+}
+
+TEST(EspBags, NestedFinishScopesOrderCorrectly) {
+  auto det = run_under<esp_bags_detector>([] {
+    shared<int> x(0);
+    finish([&] {
+      async([&] { x.write(1); });
+      finish([&] { async([&] { x.write(2); }); });
+      // The inner-finish write is ordered with this one...
+      async([&] { x.write(3); });  // ...but races with write(1)? No: x.write(1)
+      // is parallel with x.write(3) — both only joined by the outer finish.
+    });
+  });
+  EXPECT_TRUE(det.race_detected());
+}
+
+TEST(EspBags, ReadersCoveredLikeSpBags) {
+  auto det = run_under<esp_bags_detector>([] {
+    shared<int> x(0);
+    finish([&] {
+      for (int i = 0; i < 4; ++i) async([&] { (void)x.read(); });
+    });
+    x.write(1);  // safe: finish joined all readers
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(EspBags, RejectsFuturePrograms) {
+  esp_bags_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  EXPECT_THROW(rt.run([] {
+    auto f = async_future([] { return 1; });
+    (void)f.get();
+  }),
+               usage_error);
+}
+
+// Agreement with the oracle on random-ish async-finish structures is covered
+// by the property suite through the vector-clock detector; here we pin a
+// tricky hand case: transitive ordering through two nested finishes.
+TEST(EspBags, TransitiveOrderingThroughFinishes) {
+  auto det = run_under<esp_bags_detector>([] {
+    shared<int> x(0);
+    finish([&] {
+      async([&] {
+        finish([&] { async([&] { x.write(1); }); });
+        x.write(2);  // ordered after write(1) by the inner finish
+      });
+    });
+    x.write(3);  // ordered after both by the outer finish
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+// ---------------------------------------------------------------- vector clock
+
+TEST(VectorClock, FutureChainOrdersAccesses) {
+  auto det = run_under<vector_clock_detector>([] {
+    shared<int> x(0);
+    auto a = async_future([&] { x.write(1); });
+    auto b = async_future([&, a] {
+      a.get();
+      x.write(2);
+    });
+    b.get();
+    (void)x.read();
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(VectorClock, CatchesUnjoinedFuture) {
+  auto det = run_under<vector_clock_detector>([] {
+    shared<int> x(0);
+    auto a = async_future([&] { x.write(1); });
+    (void)a;
+    x.write(2);
+  });
+  EXPECT_TRUE(det.race_detected());
+}
+
+TEST(VectorClock, ClockBytesGrowQuadratically) {
+  // Sequential spawn-join phases: each new task copies the owner's clock,
+  // which has grown linearly with the joins performed so far — the paper's
+  // impracticality argument (clock size proportional to live-task count,
+  // total space quadratic).
+  auto spawn_join_n = [](int n) {
+    return [n] {
+      for (int i = 0; i < n; ++i) {
+        finish([] { async([] {}); });
+      }
+    };
+  };
+  auto small = run_under<vector_clock_detector>(spawn_join_n(256));
+  auto large = run_under<vector_clock_detector>(spawn_join_n(1024));
+  // 4× the tasks must cost clearly more than 4× the clock bytes.
+  EXPECT_GT(large.clock_bytes(), small.clock_bytes() * 8);
+}
+
+}  // namespace
+}  // namespace futrace::baselines

@@ -1,0 +1,400 @@
+// Integration tests for the race detector (Algorithms 1-10) on hand-built
+// programs with known race sets, including the paper's running examples.
+
+#include <gtest/gtest.h>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace::detect {
+namespace {
+
+// Runs `program` under a fresh detector and returns the detector.
+template <typename Fn>
+race_detector detect(Fn&& program) {
+  race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run(std::forward<Fn>(program));
+  return det;
+}
+
+// ------------------------------------------------------------------ race-free
+
+TEST(DetectorRaceFree, SequentialAccesses) {
+  auto det = detect([] {
+    shared<int> x(0);
+    x.write(1);
+    (void)x.read();
+    x.write(2);
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(DetectorRaceFree, FinishOrdersChildWrites) {
+  auto det = detect([] {
+    shared<int> x(0);
+    finish([&] { async([&] { x.write(1); }); });
+    (void)x.read();
+    x.write(2);
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(DetectorRaceFree, DisjointLocations) {
+  auto det = detect([] {
+    shared_array<int> a(8);
+    finish([&] {
+      for (std::size_t i = 0; i < 8; ++i) {
+        async([&a, i] { a.write(i, 1); });
+      }
+    });
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(DetectorRaceFree, ParallelReadersNeverRace) {
+  auto det = detect([] {
+    shared<int> x(5);
+    finish([&] {
+      for (int i = 0; i < 4; ++i) async([&] { (void)x.read(); });
+    });
+    x.write(1);
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(DetectorRaceFree, FutureGetOrdersProducerConsumer) {
+  auto det = detect([] {
+    shared<int> x(0);
+    auto f = async_future([&] { x.write(10); });
+    f.get();
+    EXPECT_EQ(x.read(), 10);
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(DetectorRaceFree, SiblingSynchronizedThroughNonTreeJoin) {
+  auto det = detect([] {
+    shared<int> x(0);
+    auto producer = async_future([&] { x.write(1); });
+    auto consumer = async_future([&, producer] {
+      producer.get();      // non-tree join orders the accesses
+      return x.read();
+    });
+    (void)consumer.get();
+  });
+  EXPECT_FALSE(det.race_detected());
+  EXPECT_EQ(det.counters().non_tree_joins, 1u);
+}
+
+// The Figure 1 transitive-join pattern: main never joins B directly, but
+// C.get() makes B's effects visible at Stmt10.
+TEST(DetectorRaceFree, Figure1TransitiveJoin) {
+  auto det = detect([] {
+    shared<int> data(0);
+    auto a = async_future([&] { return 1; });
+    auto b = async_future([&, a] {
+      (void)a.get();
+      data.write(42);  // Stmt4-ish side effect
+      return 2;
+    });
+    auto c = async_future([&, a, b] {
+      (void)a.get();
+      (void)b.get();
+      return 3;
+    });
+    (void)a.get();
+    (void)c.get();
+    EXPECT_EQ(data.read(), 42);  // Stmt10: ordered after B through C
+  });
+  EXPECT_FALSE(det.race_detected());
+  EXPECT_EQ(det.counters().non_tree_joins, 3u);
+}
+
+TEST(DetectorRaceFree, WavefrontPipeline) {
+  // 1-D pipeline: cell i depends on cell i-1 through future joins.
+  auto det = detect([] {
+    constexpr std::size_t n = 16;
+    shared_array<int> cells(n, 0);
+    std::vector<future<void>> done(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      future<void> prev = i > 0 ? done[i - 1] : future<void>{};
+      done[i] = async_future([&cells, i, prev] {
+        if (i > 0) {
+          prev.get();
+          cells.write(i, cells.read(i - 1) + 1);
+        } else {
+          cells.write(0, 1);
+        }
+      });
+    }
+    done[n - 1].get();
+    EXPECT_EQ(cells.read(n - 1), static_cast<int>(n));
+  });
+  EXPECT_FALSE(det.race_detected());
+  EXPECT_GE(det.counters().non_tree_joins, 14u);
+}
+
+// ----------------------------------------------------------------------- racy
+
+TEST(DetectorRacy, AsyncWriteRacesParentRead) {
+  auto det = detect([] {
+    shared<int> x(0);
+    async([&] { x.write(1); });
+    (void)x.read();  // no join between the write and this read
+  });
+  EXPECT_TRUE(det.race_detected());
+  ASSERT_FALSE(det.reports().empty());
+  EXPECT_EQ(det.reports()[0].kind, race_kind::write_read);
+}
+
+TEST(DetectorRacy, TwoAsyncWritesRace) {
+  auto det = detect([] {
+    shared<int> x(0);
+    async([&] { x.write(1); });
+    async([&] { x.write(2); });
+  });
+  EXPECT_TRUE(det.race_detected());
+  ASSERT_FALSE(det.reports().empty());
+  EXPECT_EQ(det.reports()[0].kind, race_kind::write_write);
+}
+
+TEST(DetectorRacy, ReadThenParallelWrite) {
+  auto det = detect([] {
+    shared<int> x(0);
+    async([&] { (void)x.read(); });
+    async([&] { x.write(1); });
+  });
+  EXPECT_TRUE(det.race_detected());
+  ASSERT_FALSE(det.reports().empty());
+  EXPECT_EQ(det.reports()[0].kind, race_kind::read_write);
+}
+
+TEST(DetectorRacy, FutureWithoutGetRacesWithParent) {
+  auto det = detect([] {
+    shared<int> x(0);
+    auto f = async_future([&] { x.write(1); });
+    x.write(2);  // did not get() first
+    f.get();
+  });
+  EXPECT_TRUE(det.race_detected());
+}
+
+TEST(DetectorRacy, OnlyOneOfTwoSiblingsJoined) {
+  auto det = detect([] {
+    shared<int> x(0);
+    auto a = async_future([&] { x.write(1); });
+    auto b = async_future([&] { x.write(2); });
+    (void)a;
+    b.get();
+    (void)x.read();  // a is still unjoined: the read races with a's write
+  });
+  EXPECT_TRUE(det.race_detected());
+}
+
+TEST(DetectorRacy, RacyLocationIdentifiedPrecisely) {
+  const void* racy_addr = nullptr;
+  auto det = detect([&] {
+    shared<int> safe(0);
+    shared<int> racy(0);
+    racy_addr = racy.address();
+    finish([&] { async([&] { safe.write(1); }); });
+    async([&] { racy.write(1); });
+    racy.write(2);
+  });
+  const auto locations = det.racy_locations();
+  ASSERT_EQ(locations.size(), 1u);
+  EXPECT_EQ(locations[0], racy_addr);
+}
+
+TEST(DetectorRacy, RaceInsideNestedFinishStillDetected) {
+  auto det = detect([] {
+    shared<int> x(0);
+    finish([&] {
+      async([&] { x.write(1); });
+      async([&] { x.write(2); });  // parallel with the first inside finish
+    });
+  });
+  EXPECT_TRUE(det.race_detected());
+}
+
+TEST(DetectorRacy, WriteAfterFinishIsSafeButSiblingPairRaces) {
+  auto det = detect([] {
+    shared<int> x(0);
+    finish([&] {
+      async([&] { x.write(1); });
+      async([&] { (void)x.read(); });
+    });
+    x.write(3);  // ordered by the finish: safe
+  });
+  // Exactly the read/write sibling pair inside the finish races.
+  EXPECT_TRUE(det.race_detected());
+  for (const auto& r : det.reports()) {
+    EXPECT_NE(r.kind, race_kind::write_write);
+  }
+}
+
+// Lemma 4 coverage: with multiple parallel async readers only one is stored,
+// yet a later conflicting write is still caught.
+TEST(DetectorRacy, AsyncReaderCoverageStillCatchesWriter) {
+  auto det = detect([] {
+    shared<int> x(0);
+    finish([&] {
+      for (int i = 0; i < 3; ++i) async([&] { (void)x.read(); });
+    });
+    async([&] { (void)x.read(); });  // reader parallel with next write
+    x.write(1);
+  });
+  EXPECT_TRUE(det.race_detected());
+  EXPECT_LE(det.counters().max_readers, 2u)
+      << "async readers must be covered, not accumulated";
+}
+
+// Multiple future readers must all be retained (no coverage across futures):
+// each one can be joined individually later.
+TEST(DetectorRacy, FutureReadersAreAllTracked) {
+  auto det = detect([] {
+    shared<int> x(0);
+    auto a = async_future([&] { return x.read(); });
+    auto b = async_future([&] { return x.read(); });
+    auto c = async_future([&] { return x.read(); });
+    (void)a.get();
+    (void)b.get();
+    (void)c;  // c not joined: write below races with c's read only
+    x.write(1);
+  });
+  EXPECT_TRUE(det.race_detected());
+  EXPECT_EQ(det.race_count(), 1u)
+      << "a and b were joined; only c's read races with the write";
+  EXPECT_EQ(det.counters().max_readers, 3u);
+}
+
+// ------------------------------------------------------------------- counters
+
+TEST(DetectorCounters, TasksAndKinds) {
+  auto det = detect([] {
+    async([] {});
+    auto f = async_future([] { return 1; });
+    (void)f.get();
+    finish([] { async([] {}); });
+  });
+  const auto c = det.counters();
+  EXPECT_EQ(c.tasks, 3u);
+  EXPECT_EQ(c.async_tasks, 2u);
+  EXPECT_EQ(c.future_tasks, 1u);
+  EXPECT_EQ(c.get_operations, 1u);
+  EXPECT_EQ(c.non_tree_joins, 0u);
+}
+
+TEST(DetectorCounters, SharedMemCountsEveryAccess) {
+  auto det = detect([] {
+    shared_array<int> a(4);
+    for (std::size_t i = 0; i < 4; ++i) a.write(i, 1);
+    int total = 0;
+    for (std::size_t i = 0; i < 4; ++i) total += a.read(i);
+    EXPECT_EQ(total, 4);
+  });
+  const auto c = det.counters();
+  EXPECT_EQ(c.shared_mem_accesses, 8u);
+  EXPECT_EQ(c.reads, 4u);
+  EXPECT_EQ(c.writes, 4u);
+  EXPECT_EQ(c.locations, 4u);
+}
+
+TEST(DetectorCounters, AvgReadersZeroForWriteOnly) {
+  auto det = detect([] {
+    shared<int> x(0);
+    for (int i = 0; i < 10; ++i) x.write(i);
+  });
+  EXPECT_DOUBLE_EQ(det.counters().avg_readers, 0.0);
+}
+
+TEST(DetectorCounters, AvgReadersBoundedForAsyncFinish) {
+  // For async-finish programs the stored-reader count is 0 or 1 (paper §5).
+  auto det = detect([] {
+    shared<int> x(0);
+    x.write(1);
+    finish([&] {
+      for (int i = 0; i < 6; ++i) async([&] { (void)x.read(); });
+    });
+    x.write(2);
+    finish([&] {
+      for (int i = 0; i < 6; ++i) async([&] { (void)x.read(); });
+    });
+  });
+  EXPECT_FALSE(det.race_detected());
+  EXPECT_LE(det.counters().max_readers, 1u);
+  EXPECT_LE(det.counters().avg_readers, 1.0);
+}
+
+// -------------------------------------------------------------------- reports
+
+TEST(DetectorReports, CarrySourceLocations) {
+  auto det = detect([] {
+    shared<int> x(0);
+    async([&] { x.write(1); });
+    x.write(2);
+  });
+  ASSERT_FALSE(det.reports().empty());
+  const auto& r = det.reports()[0];
+  EXPECT_EQ(r.first_task, 1u);
+  EXPECT_EQ(r.second_task, 0u);
+  EXPECT_NE(std::string(r.first_site.file).find("detector_test"),
+            std::string::npos);
+  EXPECT_GT(r.first_site.line, 0u);
+  const std::string text = r.to_string();
+  EXPECT_NE(text.find("write-write"), std::string::npos);
+}
+
+TEST(DetectorReports, FailFastThrowsOnFirstRace) {
+  race_detector det({.max_reports = 64, .fail_fast = true});
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  bool caught = false;
+  try {
+    rt.run([] {
+      shared<int> x(0);
+      async([&] { x.write(1); });
+      x.write(2);           // first race: thrown here
+      x.write(3);           // never reached
+    });
+  } catch (const race_found_error& e) {
+    caught = true;
+    EXPECT_EQ(e.report().kind, race_kind::write_write);
+    EXPECT_NE(std::string(e.what()).find("write-write"), std::string::npos);
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(det.race_count(), 1u);
+}
+
+TEST(DetectorReports, FailFastQuietOnRaceFreeProgram) {
+  race_detector det({.max_reports = 64, .fail_fast = true});
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([] {
+    shared<int> x(0);
+    finish([&] { async([&] { x.write(1); }); });
+    EXPECT_EQ(x.read(), 1);
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(DetectorReports, CapRespectedButCountingContinues) {
+  race_detector det({.max_reports = 4});
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([] {
+    shared_array<int> a(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      async([&a, i] { a.write(i, 1); });
+      async([&a, i] { a.write(i, 2); });
+    }
+  });
+  EXPECT_EQ(det.reports().size(), 4u);
+  EXPECT_EQ(det.race_count(), 16u);
+  EXPECT_EQ(det.racy_locations().size(), 16u);
+}
+
+}  // namespace
+}  // namespace futrace::detect

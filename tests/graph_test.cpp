@@ -1,0 +1,171 @@
+// Unit tests for the computation graph (paper §3) and the graph recorder
+// that reconstructs it from runtime events.
+
+#include <gtest/gtest.h>
+
+#include "futrace/graph/computation_graph.hpp"
+#include "futrace/graph/graph_recorder.hpp"
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace::graph {
+namespace {
+
+// ------------------------------------------------------------ computation graph
+
+TEST(ComputationGraph, ReachabilityIsReflexive) {
+  computation_graph g;
+  const step_id s = g.add_step(0);
+  EXPECT_TRUE(g.reachable(s, s));
+  EXPECT_FALSE(g.parallel(s, s));
+}
+
+TEST(ComputationGraph, LinearChain) {
+  computation_graph g;
+  const step_id a = g.add_step(0);
+  const step_id b = g.add_step(0);
+  const step_id c = g.add_step(0);
+  g.add_edge(a, b, edge_kind::continuation);
+  g.add_edge(b, c, edge_kind::continuation);
+  EXPECT_TRUE(g.reachable(a, c));
+  EXPECT_FALSE(g.reachable(c, a));
+  EXPECT_FALSE(g.parallel(a, c));
+}
+
+TEST(ComputationGraph, ForkWithoutJoinIsParallel) {
+  computation_graph g;
+  const step_id parent = g.add_step(0);
+  const step_id child = g.add_step(1);
+  const step_id cont = g.add_step(0);
+  g.add_edge(parent, child, edge_kind::spawn);
+  g.add_edge(parent, cont, edge_kind::continuation);
+  EXPECT_TRUE(g.parallel(child, cont));
+}
+
+TEST(ComputationGraph, JoinOrdersSteps) {
+  computation_graph g;
+  const step_id parent = g.add_step(0);
+  const step_id child = g.add_step(1);
+  const step_id cont = g.add_step(0);
+  const step_id after = g.add_step(0);
+  g.add_edge(parent, child, edge_kind::spawn);
+  g.add_edge(parent, cont, edge_kind::continuation);
+  g.add_edge(cont, after, edge_kind::continuation);
+  g.add_edge(child, after, edge_kind::join_tree);
+  EXPECT_TRUE(g.reachable(child, after));
+  EXPECT_TRUE(g.parallel(child, cont));
+  EXPECT_FALSE(g.parallel(child, after));
+}
+
+TEST(ComputationGraph, CountEdgesByKind) {
+  computation_graph g;
+  const step_id a = g.add_step(0);
+  const step_id b = g.add_step(1);
+  const step_id c = g.add_step(0);
+  g.add_edge(a, b, edge_kind::spawn);
+  g.add_edge(a, c, edge_kind::continuation);
+  g.add_edge(b, c, edge_kind::join_non_tree);
+  EXPECT_EQ(g.count_edges(edge_kind::spawn), 1u);
+  EXPECT_EQ(g.count_edges(edge_kind::continuation), 1u);
+  EXPECT_EQ(g.count_edges(edge_kind::join_non_tree), 1u);
+  EXPECT_EQ(g.count_edges(edge_kind::join_tree), 0u);
+}
+
+TEST(ComputationGraph, DotExportMentionsStepsAndTasks) {
+  computation_graph g;
+  const step_id a = g.add_step(0);
+  const step_id b = g.add_step(1);
+  g.add_edge(a, b, edge_kind::spawn);
+  const std::string dot = g.to_dot({"TM", "TA"});
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("TM"), std::string::npos);
+  EXPECT_NE(dot.find("TA"), std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1"), std::string::npos);
+}
+
+// --------------------------------------------------------------- graph recorder
+
+// Runs a program under the recorder and returns it for inspection.
+template <typename Fn>
+graph_recorder record(Fn&& program) {
+  graph_recorder rec;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&rec);
+  rt.run(std::forward<Fn>(program));
+  return rec;
+}
+
+TEST(GraphRecorder, EmptyProgramHasRootSteps) {
+  auto rec = record([] {});
+  // Root: initial step, step on finish start, step after implicit finish.
+  EXPECT_GE(rec.graph().step_count(), 2u);
+  EXPECT_EQ(rec.task_count(), 1u);
+}
+
+TEST(GraphRecorder, AsyncCreatesSpawnAndFinishJoinEdges) {
+  auto rec = record([] {
+    finish([] { async([] {}); });
+  });
+  EXPECT_EQ(rec.task_count(), 2u);
+  EXPECT_EQ(rec.graph().count_edges(edge_kind::spawn), 1u);
+  // One tree join from the async into the explicit finish; one from... the
+  // async's IEF is the explicit finish, so exactly one tree join for it.
+  EXPECT_GE(rec.graph().count_edges(edge_kind::join_tree), 1u);
+}
+
+TEST(GraphRecorder, GetByParentIsTreeJoin) {
+  auto rec = record([] {
+    auto f = async_future([] { return 1; });
+    (void)f.get();
+  });
+  EXPECT_EQ(rec.graph().count_edges(edge_kind::join_non_tree), 0u);
+  EXPECT_GE(rec.graph().count_edges(edge_kind::join_tree), 1u);
+}
+
+TEST(GraphRecorder, GetBySiblingIsNonTreeJoin) {
+  auto rec = record([] {
+    auto a = async_future([] { return 1; });
+    auto b = async_future([a] { return a.get() + 1; });
+    (void)b.get();
+  });
+  EXPECT_EQ(rec.graph().count_edges(edge_kind::join_non_tree), 1u);
+}
+
+TEST(GraphRecorder, SpawnParentChainAndAncestors) {
+  futrace::task_id inner = 0;
+  auto rec = record([&] {
+    async([&] {
+      async([&] { inner = current_task(); });
+    });
+  });
+  EXPECT_EQ(rec.task_count(), 3u);
+  EXPECT_EQ(rec.spawn_parent(inner), 1u);
+  EXPECT_TRUE(rec.is_ancestor(0, inner));
+  EXPECT_FALSE(rec.is_ancestor(inner, 0));
+}
+
+// The Figure 1 program at step granularity: Stmt3/Stmt6 run parallel with
+// task A, Stmt4/Stmt7 run after it.
+TEST(GraphRecorder, Figure1StepLevelOrdering) {
+  step_id a_last = k_invalid_step;
+  step_id stmt3 = k_invalid_step, stmt4 = k_invalid_step;
+  graph_recorder rec;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&rec);
+  rt.run([&] {
+    auto a = async_future([&] { return 0; });
+    auto b = async_future([&] {
+      stmt3 = rec.current_step(current_task());  // before A.get()
+      (void)a.get();
+      stmt4 = rec.current_step(current_task());  // after A.get()
+      return 0;
+    });
+    a_last = rec.last_step(a.task());
+    (void)a.get();
+    (void)b.get();
+  });
+  EXPECT_TRUE(rec.graph().parallel(stmt3, a_last));
+  EXPECT_TRUE(rec.graph().reachable(a_last, stmt4));
+}
+
+}  // namespace
+}  // namespace futrace::graph

@@ -1,0 +1,138 @@
+// Tests for async_for / parallel_for and accumulator across execution modes
+// and under the detector.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <vector>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/runtime/parallel_ops.hpp"
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace {
+namespace {
+
+TEST(AsyncFor, CoversEveryIterationExactlyOnce) {
+  for (const exec_mode mode :
+       {exec_mode::serial_elision, exec_mode::serial_dfs,
+        exec_mode::parallel}) {
+    runtime rt({.mode = mode, .workers = 3});
+    std::vector<std::atomic<int>> hits(257);
+    rt.run([&] {
+      parallel_for(0, hits.size(), 16,
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "mode=" << exec_mode_name(mode)
+                                   << " i=" << i;
+    }
+  }
+}
+
+TEST(AsyncFor, EmptyAndTinyRanges) {
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.run([] {
+    int count = 0;
+    parallel_for(5, 5, 4, [&](std::size_t) { ++count; });
+    EXPECT_EQ(count, 0);
+    parallel_for(5, 6, 4, [&](std::size_t i) {
+      EXPECT_EQ(i, 5u);
+      ++count;
+    });
+    EXPECT_EQ(count, 1);
+  });
+}
+
+TEST(AsyncFor, GrainBoundsTaskCount) {
+  detect::race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([] {
+    shared_array<int> out(1024);
+    parallel_for(0, 1024, 64,
+                 [&](std::size_t i) { out.write(i, static_cast<int>(i)); });
+  });
+  // 1024/64 = 16 leaf tasks plus the divide-and-conquer interior.
+  EXPECT_GE(det.counters().tasks, 16u);
+  EXPECT_LE(det.counters().tasks, 64u);
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(AsyncFor, DisjointWritesAreRaceFree) {
+  detect::race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([] {
+    shared_array<long> squares(300);
+    parallel_for(0, 300, 10, [&](std::size_t i) {
+      squares.write(i, static_cast<long>(i) * static_cast<long>(i));
+    });
+    long total = 0;
+    for (std::size_t i = 0; i < 300; ++i) total += squares.read(i);
+    EXPECT_EQ(total, 299L * 300 * 599 / 6);
+  });
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(AsyncFor, OverlappingWritesAreCaught) {
+  detect::race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([] {
+    shared<long> sum(0);
+    // The classic bug accumulator-style code has: += on a shared cell.
+    parallel_for(0, 64, 8,
+                 [&](std::size_t i) { sum.write(sum.read() + (long)i); });
+  });
+  EXPECT_TRUE(det.race_detected());
+}
+
+TEST(Accumulator, SumAcrossModes) {
+  for (const exec_mode mode :
+       {exec_mode::serial_elision, exec_mode::serial_dfs,
+        exec_mode::parallel}) {
+    runtime rt({.mode = mode, .workers = 4});
+    accumulator<long, std::plus<long>> sum(0);
+    rt.run([&] {
+      parallel_for(1, 1001, 25, [&](std::size_t i) {
+        sum.contribute(static_cast<long>(i));
+      });
+    });
+    EXPECT_EQ(sum.get(), 500500L) << exec_mode_name(mode);
+  }
+}
+
+TEST(Accumulator, ContributionsAreNotRaces) {
+  detect::race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  accumulator<long, std::plus<long>> sum(0);
+  rt.run([&] {
+    parallel_for(0, 128, 8,
+                 [&](std::size_t i) { sum.contribute(static_cast<long>(i)); });
+  });
+  EXPECT_FALSE(det.race_detected())
+      << "accumulator contributions synchronize internally";
+  EXPECT_EQ(sum.get(), 127L * 128 / 2);
+}
+
+TEST(Accumulator, MaxReductionAndReset) {
+  struct max_op {
+    long operator()(long a, long b) const { return a > b ? a : b; }
+  };
+  runtime rt({.mode = exec_mode::serial_dfs});
+  accumulator<long, max_op> best(-1);
+  rt.run([&] {
+    parallel_for(0, 100, 7, [&](std::size_t i) {
+      best.contribute(static_cast<long>((i * 37) % 89));
+    });
+  });
+  EXPECT_EQ(best.get(), 88);
+  best.reset();
+  EXPECT_EQ(best.get(), -1);
+}
+
+}  // namespace
+}  // namespace futrace

@@ -1,0 +1,339 @@
+// Tests for the serial engines: elision semantics, depth-first execution
+// order, observer event sequences, IEF registration, future semantics, and
+// the Appendix A error behaviours.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace {
+namespace {
+
+// Observer that records the event stream as readable strings.
+class event_log : public execution_observer {
+ public:
+  void on_program_start(task_id root) override {
+    log.push_back("start:" + std::to_string(root));
+  }
+  void on_task_spawn(task_id parent, task_id child, task_kind kind) override {
+    log.push_back("spawn:" + std::to_string(parent) + ">" +
+                  std::to_string(child) + ":" + task_kind_name(kind));
+  }
+  void on_task_end(task_id t) override {
+    log.push_back("end:" + std::to_string(t));
+  }
+  void on_finish_start(task_id owner) override {
+    log.push_back("fstart:" + std::to_string(owner));
+  }
+  void on_finish_end(task_id owner, std::span<const task_id> joined) override {
+    std::string entry = "fend:" + std::to_string(owner) + "[";
+    for (const task_id t : joined) entry += std::to_string(t) + ",";
+    entry += "]";
+    log.push_back(entry);
+  }
+  void on_get(task_id waiter, task_id target) override {
+    log.push_back("get:" + std::to_string(waiter) + "<" +
+                  std::to_string(target));
+  }
+  void on_read(task_id t, const void*, std::size_t, access_site) override {
+    log.push_back("read:" + std::to_string(t));
+  }
+  void on_write(task_id t, const void*, std::size_t, access_site) override {
+    log.push_back("write:" + std::to_string(t));
+  }
+  void on_program_end() override { log.push_back("pend"); }
+
+  std::vector<std::string> log;
+};
+
+// ---------------------------------------------------------------- elision mode
+
+TEST(ElisionMode, RunsBodiesInlineInProgramOrder) {
+  runtime rt({.mode = exec_mode::serial_elision});
+  std::vector<int> order;
+  rt.run([&] {
+    order.push_back(1);
+    async([&] { order.push_back(2); });
+    order.push_back(3);
+    finish([&] {
+      async([&] { order.push_back(4); });
+      order.push_back(5);
+    });
+    auto f = async_future([&] {
+      order.push_back(6);
+      return 42;
+    });
+    EXPECT_EQ(f.get(), 42);
+    order.push_back(7);
+  });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ElisionMode, NoTasksTracked) {
+  runtime rt({.mode = exec_mode::serial_elision});
+  rt.run([] {
+    async([] {});
+    async([] {});
+  });
+  EXPECT_EQ(rt.tasks_spawned(), 0u);
+}
+
+// ----------------------------------------------------------------- serial mode
+
+TEST(SerialMode, DepthFirstOrderMatchesElision) {
+  std::vector<int> elision_order, serial_order;
+  auto program = [](std::vector<int>& order) {
+    return [&order] {
+      order.push_back(1);
+      async([&order] {
+        order.push_back(2);
+        async([&order] { order.push_back(3); });
+        order.push_back(4);
+      });
+      order.push_back(5);
+      auto f = async_future([&order] {
+        order.push_back(6);
+        return 0;
+      });
+      (void)f.get();
+      order.push_back(7);
+    };
+  };
+  {
+    runtime rt({.mode = exec_mode::serial_elision});
+    rt.run(program(elision_order));
+  }
+  {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.run(program(serial_order));
+  }
+  EXPECT_EQ(elision_order, serial_order)
+      << "serial depth-first execution must equal the serial elision order "
+         "(paper §A.1)";
+}
+
+TEST(SerialMode, EventSequenceForSingleAsync) {
+  event_log log;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&log);
+  rt.run([] { async([] {}); });
+  const std::vector<std::string> expected{
+      "start:0", "fstart:0",      // implicit finish around main
+      "spawn:0>1:async", "end:1",  // inline child execution
+      "fend:0[1,]", "end:0", "pend",
+  };
+  EXPECT_EQ(log.log, expected);
+}
+
+TEST(SerialMode, TaskIdsAssignedInSpawnOrder) {
+  std::vector<task_id> ids;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.run([&] {
+    ids.push_back(current_task());
+    async([&] {
+      ids.push_back(current_task());
+      async([&] { ids.push_back(current_task()); });
+    });
+    async([&] { ids.push_back(current_task()); });
+  });
+  EXPECT_EQ(ids, (std::vector<task_id>{0, 1, 2, 3}));
+  EXPECT_EQ(rt.tasks_spawned(), 4u);
+}
+
+TEST(SerialMode, NestedFinishJoinsOnlyItsOwnTasks) {
+  event_log log;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&log);
+  rt.run([] {
+    async([] {});  // task 1: IEF is the implicit finish
+    finish([] {
+      async([] {});  // task 2: IEF is the explicit finish
+    });
+    async([] {});  // task 3: implicit finish again
+  });
+  // The explicit finish joins exactly task 2; the implicit one joins 1 and 3.
+  bool saw_inner = false, saw_outer = false;
+  for (const auto& e : log.log) {
+    if (e == "fend:0[2,]") saw_inner = true;
+    if (e == "fend:0[1,3,]") saw_outer = true;
+  }
+  EXPECT_TRUE(saw_inner) << "inner finish should join task 2 only";
+  EXPECT_TRUE(saw_outer) << "implicit finish should join tasks 1 and 3";
+}
+
+TEST(SerialMode, FutureTasksRegisterWithIEF) {
+  event_log log;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&log);
+  rt.run([] {
+    finish([] {
+      auto f = async_future([] { return 5; });
+      (void)f;  // never get() — the finish must still join it
+    });
+  });
+  bool saw = false;
+  for (const auto& e : log.log) {
+    if (e == "fend:0[1,]") saw = true;
+  }
+  EXPECT_TRUE(saw) << "futures join their IEF even without get()";
+}
+
+TEST(SerialMode, GetFiresObserverEvent) {
+  event_log log;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&log);
+  rt.run([] {
+    auto f = async_future([] { return 1; });
+    (void)f.get();
+    (void)f.get();  // a second get fires a second join event
+  });
+  int gets = 0;
+  for (const auto& e : log.log) gets += e == "get:0<1";
+  EXPECT_EQ(gets, 2);
+}
+
+TEST(SerialMode, MemoryEventsCarryTaskAndOrder) {
+  event_log log;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&log);
+  rt.run([] {
+    shared<int> x(0);
+    x.write(3);
+    async([&x] { (void)x.read(); });
+    x.write(4);
+  });
+  const std::vector<std::string> mem = [&] {
+    std::vector<std::string> v;
+    for (const auto& e : log.log) {
+      if (e.rfind("read:", 0) == 0 || e.rfind("write:", 0) == 0) {
+        v.push_back(e);
+      }
+    }
+    return v;
+  }();
+  EXPECT_EQ(mem, (std::vector<std::string>{"write:0", "read:1", "write:0"}));
+}
+
+TEST(SerialMode, SharedAccessesNotInstrumentedWithoutObservers) {
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.run([] {
+    shared<int> x(1);
+    x.write(2);
+    EXPECT_EQ(x.read(), 2);
+  });
+}
+
+TEST(SerialMode, PromisePutEventSequence) {
+  class put_log : public event_log {
+   public:
+    void on_promise_put(task_id fulfiller) override {
+      log.push_back("put:" + std::to_string(fulfiller));
+    }
+  };
+  put_log log;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&log);
+  rt.run([] {
+    promise<int> p;
+    finish([&] {
+      async([&] { p.put(3); });  // task 1, continuation 2
+    });
+    EXPECT_EQ(p.get(), 3);
+  });
+  const std::vector<std::string> expected{
+      "start:0",
+      "fstart:0",                // implicit finish
+      "fstart:0",                // explicit finish
+      "spawn:0>1:async",
+      "put:1",                   // put recorded against task 1...
+      "spawn:1>2:continuation",  // ...then the identity splits
+      "end:2", "end:1",          // continuation closes before its base
+      "spawn:0>3:continuation",  // the root splits as it resumes
+      "fend:3[1,2,]",            // both identities join; owner is the
+                                 // root's current continuation identity
+      "get:3<1",                 // get joins the pre-put identity
+      "fend:3[]",                // implicit finish (nothing registered)
+      "end:3", "end:0", "pend",
+  };
+  EXPECT_EQ(log.log, expected);
+}
+
+// ---------------------------------------------------------------------- futures
+
+TEST(Futures, ValueSemanticsAcrossKinds) {
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.run([] {
+    auto i = async_future([] { return 7; });
+    auto s = async_future([] { return std::string("abc"); });
+    auto v = async_future([] {});
+    EXPECT_EQ(i.get(), 7);
+    EXPECT_EQ(s.get(), "abc");
+    v.get();
+    EXPECT_TRUE(v.is_done());
+  });
+}
+
+TEST(Futures, GetOnUnsetHandleThrowsDeadlockError) {
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.run([] {
+    future<int> unset;
+    EXPECT_FALSE(unset.valid());
+    EXPECT_THROW((void)unset.get(), deadlock_error);
+  });
+}
+
+TEST(Futures, ExceptionInFutureSurfacesAtGet) {
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.run([] {
+    auto f = async_future([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_TRUE(f.is_done());
+    EXPECT_THROW((void)f.get(), std::runtime_error);
+  });
+}
+
+TEST(Futures, HandlesAreCopyableAndShareState) {
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.run([] {
+    auto f = async_future([] { return 10; });
+    future<int> g = f;
+    EXPECT_EQ(f.get() + g.get(), 20);
+    EXPECT_EQ(f.task(), g.task());
+  });
+}
+
+TEST(Futures, GetOutsideRunOnCompletedFutureWorks) {
+  future<int> escaped;
+  {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.run([&] { escaped = async_future([] { return 9; }); });
+  }
+  EXPECT_EQ(escaped.get(), 9);
+}
+
+// ------------------------------------------------------------------ exceptions
+
+TEST(Exceptions, AsyncExceptionPropagatesInSerialMode) {
+  runtime rt({.mode = exec_mode::serial_dfs});
+  EXPECT_THROW(
+      rt.run([] { async([] { throw std::logic_error("child failed"); }); }),
+      std::logic_error);
+}
+
+TEST(Exceptions, ConstructsOutsideRunThrowUsageError) {
+  EXPECT_THROW(async([] {}), usage_error);
+  EXPECT_THROW(finish([] {}), usage_error);
+  EXPECT_THROW((void)async_future([] { return 1; }), usage_error);
+}
+
+TEST(Exceptions, RuntimeRunsExactlyOnce) {
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.run([] {});
+  EXPECT_DEATH(rt.run([] {}), "exactly one execution");
+}
+
+}  // namespace
+}  // namespace futrace

@@ -1,0 +1,165 @@
+// Unit tests for the shadow-memory layer: cell mechanics (inline reader +
+// overflow), counters, and the site table.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "futrace/detect/shadow_memory.hpp"
+
+namespace futrace::detect {
+namespace {
+
+// ----------------------------------------------------------------- shadow_cell
+
+TEST(ShadowCell, StartsEmpty) {
+  shadow_cell cell;
+  EXPECT_EQ(cell.writer, k_invalid_task);
+  EXPECT_EQ(cell.reader_count(), 0u);
+  EXPECT_EQ(cell.overflow, nullptr);
+}
+
+TEST(ShadowCell, SingleReaderStaysInline) {
+  shadow_cell cell;
+  cell.add_reader(reader_entry{7, 1});
+  EXPECT_EQ(cell.reader_count(), 1u);
+  EXPECT_EQ(cell.reader_at(0).task, 7u);
+  EXPECT_EQ(cell.overflow, nullptr);
+}
+
+TEST(ShadowCell, OverflowHoldsAdditionalReaders) {
+  shadow_cell cell;
+  for (task_id t = 1; t <= 5; ++t) cell.add_reader(reader_entry{t, 0});
+  EXPECT_EQ(cell.reader_count(), 5u);
+  ASSERT_NE(cell.overflow, nullptr);
+  std::vector<bool> seen(6, false);
+  for (std::size_t i = 0; i < cell.reader_count(); ++i) {
+    seen[cell.reader_at(i).task] = true;
+  }
+  for (task_id t = 1; t <= 5; ++t) EXPECT_TRUE(seen[t]) << t;
+  delete cell.overflow;
+}
+
+TEST(ShadowCell, RemoveInlineReaderPullsFromOverflow) {
+  shadow_cell cell;
+  cell.add_reader(reader_entry{1, 0});
+  cell.add_reader(reader_entry{2, 0});
+  cell.add_reader(reader_entry{3, 0});
+  cell.remove_reader_at(0);  // removes task 1; an overflow entry fills in
+  EXPECT_EQ(cell.reader_count(), 2u);
+  bool saw2 = false, saw3 = false;
+  for (std::size_t i = 0; i < cell.reader_count(); ++i) {
+    saw2 |= cell.reader_at(i).task == 2;
+    saw3 |= cell.reader_at(i).task == 3;
+  }
+  EXPECT_TRUE(saw2);
+  EXPECT_TRUE(saw3);
+  delete cell.overflow;
+}
+
+TEST(ShadowCell, RemoveDownToEmpty) {
+  shadow_cell cell;
+  for (task_id t = 1; t <= 3; ++t) cell.add_reader(reader_entry{t, 0});
+  while (cell.reader_count() > 0) cell.remove_reader_at(0);
+  EXPECT_EQ(cell.reader_count(), 0u);
+  cell.add_reader(reader_entry{9, 0});  // reusable afterwards
+  EXPECT_EQ(cell.reader_at(0).task, 9u);
+  delete cell.overflow;
+}
+
+TEST(ShadowCell, CompactLayout) {
+  EXPECT_LE(sizeof(shadow_cell), 24u)
+      << "cell growth directly scales the dominant cache-miss cost";
+}
+
+// --------------------------------------------------------------- shadow_memory
+
+TEST(ShadowMemory, CountsAccessesAndLocations) {
+  shadow_memory shadow;
+  int a = 0, b = 0;
+  shadow.access(&a);
+  shadow.access(&a);
+  shadow.access(&b);
+  EXPECT_EQ(shadow.access_count(), 3u);
+  EXPECT_EQ(shadow.location_count(), 2u);
+}
+
+TEST(ShadowMemory, AverageReadersSamplesAtAccessTime) {
+  shadow_memory shadow;
+  int loc = 0;
+  shadow.access(&loc);                                  // 0 readers sampled
+  shadow.access(&loc).add_reader(reader_entry{1, 0});   // 0 sampled, then add
+  shadow.access(&loc);                                  // 1 sampled
+  shadow.access(&loc);                                  // 1 sampled
+  EXPECT_DOUBLE_EQ(shadow.average_readers(), 2.0 / 4.0);
+}
+
+TEST(ShadowMemory, MaxReadersTracked) {
+  shadow_memory shadow;
+  int loc = 0;
+  auto& cell = shadow.access(&loc);
+  for (task_id t = 1; t <= 4; ++t) {
+    cell.add_reader(reader_entry{t, 0});
+    shadow.note_reader_count(cell.reader_count());
+  }
+  EXPECT_EQ(shadow.max_readers(), 4u);
+}
+
+TEST(ShadowMemory, MemoryBytesIncludesOverflow) {
+  shadow_memory shadow;
+  int loc = 0;
+  const std::size_t before = shadow.memory_bytes();
+  auto& cell = shadow.access(&loc);
+  for (task_id t = 1; t <= 10; ++t) cell.add_reader(reader_entry{t, 0});
+  EXPECT_GT(shadow.memory_bytes(), before);
+}
+
+TEST(ShadowMemory, OverflowFreedOnDestruction) {
+  // Covered implicitly by ASAN-less builds via no crash; structurally: the
+  // destructor must null out what it deletes when iterated twice.
+  auto* shadow = new shadow_memory();
+  int loc = 0;
+  auto& cell = shadow->access(&loc);
+  for (task_id t = 1; t <= 5; ++t) cell.add_reader(reader_entry{t, 0});
+  delete shadow;  // must free the overflow vector
+}
+
+// ------------------------------------------------------------------ site_table
+
+TEST(SiteTable, InternsAndResolves) {
+  site_table sites;
+  const site_id a = sites.intern(access_site{"alpha.cpp", 10});
+  const site_id b = sites.intern(access_site{"beta.cpp", 20});
+  EXPECT_NE(a, b);
+  EXPECT_STREQ(sites.resolve(a).file, "alpha.cpp");
+  EXPECT_EQ(sites.resolve(a).line, 10u);
+  EXPECT_STREQ(sites.resolve(b).file, "beta.cpp");
+}
+
+TEST(SiteTable, SameSiteSameId) {
+  site_table sites;
+  const site_id a1 = sites.intern(access_site{"alpha.cpp", 10});
+  const site_id other = sites.intern(access_site{"alpha.cpp", 11});
+  const site_id a2 = sites.intern(access_site{"alpha.cpp", 10});
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, other);
+}
+
+TEST(SiteTable, UnknownIdResolvesToSentinel) {
+  site_table sites;
+  EXPECT_STREQ(sites.resolve(12345).file, "<unknown>");
+}
+
+TEST(SiteTable, HotLoopCacheDoesNotConfuseSites) {
+  site_table sites;
+  const site_id a = sites.intern(access_site{"f.cpp", 1});
+  const site_id b = sites.intern(access_site{"f.cpp", 2});
+  // Alternate to defeat/validate the one-entry cache.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sites.intern(access_site{"f.cpp", 1}), a);
+    EXPECT_EQ(sites.intern(access_site{"f.cpp", 2}), b);
+  }
+}
+
+}  // namespace
+}  // namespace futrace::detect

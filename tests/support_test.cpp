@@ -1,0 +1,357 @@
+// Unit tests for futrace::support: small_vector, arena, rng, stats, table,
+// flags, ptr_map.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "futrace/support/arena.hpp"
+#include "futrace/support/flags.hpp"
+#include "futrace/support/ptr_map.hpp"
+#include "futrace/support/rng.hpp"
+#include "futrace/support/small_vector.hpp"
+#include "futrace/support/stats.hpp"
+#include "futrace/support/table.hpp"
+
+namespace futrace::support {
+namespace {
+
+// ---------------------------------------------------------------- small_vector
+
+TEST(SmallVector, StartsEmptyInline) {
+  small_vector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.uses_inline_storage());
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushWithinInlineCapacity) {
+  small_vector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_TRUE(v.uses_inline_storage());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVector, SpillsToHeapAndPreservesContents) {
+  small_vector<int, 2> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i * 7);
+  EXPECT_FALSE(v.uses_inline_storage());
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i * 7);
+}
+
+TEST(SmallVector, EraseUnorderedRemovesBySwap) {
+  small_vector<int, 4> v{10, 20, 30, 40};
+  v.erase_unordered(1);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_FALSE(v.contains(20));
+  EXPECT_TRUE(v.contains(10));
+  EXPECT_TRUE(v.contains(30));
+  EXPECT_TRUE(v.contains(40));
+}
+
+TEST(SmallVector, EraseUnorderedLastElement) {
+  small_vector<int, 2> v{1, 2, 3};
+  v.erase_unordered(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_FALSE(v.contains(3));
+}
+
+TEST(SmallVector, CopyPreservesIndependence) {
+  small_vector<int, 2> a{1, 2, 3};
+  small_vector<int, 2> b = a;
+  b.push_back(4);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(a, (small_vector<int, 2>{1, 2, 3}));
+}
+
+TEST(SmallVector, MoveFromHeapStealsBuffer) {
+  small_vector<int, 2> a;
+  for (int i = 0; i < 50; ++i) a.push_back(i);
+  small_vector<int, 2> b = std::move(a);
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(b[49], 49);
+}
+
+TEST(SmallVector, MoveFromInlineCopies) {
+  small_vector<int, 4> a{1, 2};
+  small_vector<int, 4> b = std::move(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_TRUE(b.uses_inline_storage());
+}
+
+TEST(SmallVector, AppendConcatenates) {
+  small_vector<int, 2> a{1, 2};
+  small_vector<int, 2> b{3, 4, 5};
+  a.append(b);
+  EXPECT_EQ(a, (small_vector<int, 2>{1, 2, 3, 4, 5}));
+}
+
+TEST(SmallVector, ResizeGrowsWithFill) {
+  small_vector<int, 2> v;
+  v.resize(5, 9);
+  EXPECT_EQ(v.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 9);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+// ----------------------------------------------------------------------- arena
+
+TEST(Arena, AllocationsAreAligned) {
+  arena a(128);
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void* p = a.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(Arena, CreateConstructsObjects) {
+  arena a;
+  struct point {
+    int x, y;
+  };
+  point* p = a.create<point>(3, 4);
+  EXPECT_EQ(p->x, 3);
+  EXPECT_EQ(p->y, 4);
+}
+
+TEST(Arena, GrowsPastBlockSize) {
+  arena a(64);
+  std::set<void*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = a.allocate(48, 8);
+    EXPECT_TRUE(seen.insert(p).second) << "allocation reused while live";
+  }
+  EXPECT_GE(a.bytes_used(), 48u * 1000);
+  EXPECT_GE(a.bytes_reserved(), a.bytes_used());
+}
+
+TEST(Arena, OversizedAllocationGetsOwnBlock) {
+  arena a(64);
+  void* p = a.allocate(4096, 16);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Arena, ResetReleasesAccounting) {
+  arena a;
+  a.allocate(100, 8);
+  a.reset();
+  EXPECT_EQ(a.bytes_used(), 0u);
+  EXPECT_EQ(a.bytes_reserved(), 0u);
+}
+
+// ------------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a() == b();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  xoshiro256 r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  xoshiro256 r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  xoshiro256 r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  xoshiro256 r(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+// ----------------------------------------------------------------------- stats
+
+TEST(RunningStats, MeanMinMax) {
+  running_stats s;
+  for (double x : {4.0, 8.0, 6.0, 2.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+}
+
+TEST(RunningStats, VarianceMatchesTextbook) {
+  running_stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  running_stats all, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(SampleSet, PercentilesInterpolate) {
+  sample_set s;
+  for (double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 25.0);
+}
+
+// ----------------------------------------------------------------------- table
+
+TEST(TextTable, WithCommas) {
+  EXPECT_EQ(text_table::with_commas(0), "0");
+  EXPECT_EQ(text_table::with_commas(999), "999");
+  EXPECT_EQ(text_table::with_commas(1000), "1,000");
+  EXPECT_EQ(text_table::with_commas(1150000682ULL), "1,150,000,682");
+}
+
+TEST(TextTable, FixedPrecision) {
+  EXPECT_EQ(text_table::fixed(9.923, 2), "9.92");
+  EXPECT_EQ(text_table::fixed(1.0, 2), "1.00");
+}
+
+TEST(TextTable, RendersAlignedRows) {
+  text_table t({"Benchmark", "Slowdown"});
+  t.add_row({"Jacobi", "8.05"});
+  t.add_row({"Smith-Waterman", "9.92"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Benchmark"), std::string::npos);
+  EXPECT_NE(out.find("9.92"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+// ----------------------------------------------------------------------- flags
+
+TEST(Flags, DefaultsAndOverrides) {
+  flag_parser p;
+  p.define("size", "100", "problem size")
+      .define("scale", "1.5", "scale factor")
+      .define("verify", "false", "run self check");
+  const char* argv[] = {"prog", "--size=250", "--verify"};
+  p.parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(p.get_int("size"), 250);
+  EXPECT_DOUBLE_EQ(p.get_double("scale"), 1.5);
+  EXPECT_TRUE(p.get_bool("verify"));
+}
+
+TEST(Flags, SpaceSeparatedValue) {
+  flag_parser p;
+  p.define("name", "x", "a name");
+  const char* argv[] = {"prog", "--name", "series"};
+  p.parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(p.get_string("name"), "series");
+}
+
+TEST(Flags, PositionalArgumentsCollected) {
+  flag_parser p;
+  p.define("n", "1", "count");
+  const char* argv[] = {"prog", "alpha", "--n=3", "beta"};
+  p.parse(4, const_cast<char**>(argv));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "alpha");
+  EXPECT_EQ(p.positional()[1], "beta");
+}
+
+// --------------------------------------------------------------------- ptr_map
+
+TEST(PtrMap, InsertAndFind) {
+  ptr_map<int> m;
+  int dummy[4] = {};
+  m[&dummy[0]] = 10;
+  m[&dummy[2]] = 20;
+  EXPECT_EQ(m.size(), 2u);
+  ASSERT_NE(m.find(&dummy[0]), nullptr);
+  EXPECT_EQ(*m.find(&dummy[0]), 10);
+  EXPECT_EQ(*m.find(&dummy[2]), 20);
+  EXPECT_EQ(m.find(&dummy[1]), nullptr);
+}
+
+TEST(PtrMap, OperatorBracketDefaultConstructs) {
+  ptr_map<int> m;
+  int x = 0;
+  EXPECT_EQ(m[&x], 0);
+  m[&x] = 7;
+  EXPECT_EQ(m[&x], 7);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(PtrMap, SurvivesGrowth) {
+  ptr_map<std::size_t> m(16);
+  std::vector<int> storage(10000);
+  for (std::size_t i = 0; i < storage.size(); ++i) m[&storage[i]] = i;
+  EXPECT_EQ(m.size(), storage.size());
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    ASSERT_NE(m.find(&storage[i]), nullptr);
+    EXPECT_EQ(*m.find(&storage[i]), i);
+  }
+}
+
+TEST(PtrMap, ForEachVisitsEveryEntry) {
+  ptr_map<int> m;
+  int cells[5] = {};
+  for (int i = 0; i < 5; ++i) m[&cells[i]] = i;
+  int count = 0, sum = 0;
+  m.for_each([&](const void*, int& v) {
+    ++count;
+    sum += v;
+  });
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3 + 4);
+}
+
+TEST(PtrMap, ValueWithHeapStateSurvivesGrowth) {
+  ptr_map<std::vector<int>> m(16);
+  std::vector<int> keys(300);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    m[&keys[i]].push_back(static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(m[&keys[i]].size(), 1u);
+    EXPECT_EQ(m[&keys[i]][0], static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace futrace::support

@@ -1,0 +1,421 @@
+// Tests for the Table 2 workload kernels: each must self-verify in every
+// execution mode and be race-free under the detector, and the IDEA cipher
+// gets its own algebraic checks.
+
+#include <gtest/gtest.h>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/runtime/runtime.hpp"
+#include "futrace/support/rng.hpp"
+#include "futrace/workloads/workloads.hpp"
+
+namespace futrace::workloads {
+namespace {
+
+// ------------------------------------------------------------------------ IDEA
+
+TEST(Idea, MulMatchesGroupDefinition) {
+  // a ⊙ b with 0 ≡ 2^16 in Z*_65537.
+  auto reference = [](std::uint32_t a, std::uint32_t b) {
+    const std::uint64_t aa = a == 0 ? 0x10000 : a;
+    const std::uint64_t bb = b == 0 ? 0x10000 : b;
+    const std::uint64_t r = (aa * bb) % 0x10001;
+    return static_cast<std::uint16_t>(r == 0x10000 ? 0 : r);
+  };
+  support::xoshiro256 rng(9);
+  for (int i = 0; i < 20000; ++i) {
+    const auto a = static_cast<std::uint16_t>(rng() & 0xFFFF);
+    const auto b = static_cast<std::uint16_t>(rng() & 0xFFFF);
+    ASSERT_EQ(idea_mul(a, b), reference(a, b)) << a << " * " << b;
+  }
+  EXPECT_EQ(idea_mul(0, 0), reference(0, 0));
+  EXPECT_EQ(idea_mul(0, 1), reference(0, 1));
+  EXPECT_EQ(idea_mul(1, 0), reference(1, 0));
+}
+
+TEST(Idea, MulInverse) {
+  support::xoshiro256 rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = static_cast<std::uint16_t>(rng() & 0xFFFF);
+    EXPECT_EQ(idea_mul(x, idea_mul_inv(x)), 1u) << "x=" << x;
+  }
+  EXPECT_EQ(idea_mul(0, idea_mul_inv(0)), 1u);  // 0 encodes 2^16 ≡ -1
+}
+
+TEST(Idea, BlockRoundTrip) {
+  support::xoshiro256 rng(11);
+  idea_key key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  const idea_subkeys enc = idea_encrypt_subkeys(key);
+  const idea_subkeys dec = idea_decrypt_subkeys(enc);
+
+  for (int trial = 0; trial < 500; ++trial) {
+    std::uint8_t plain[8], cipher[8], back[8];
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng() & 0xFF);
+    idea_crypt_block(plain, cipher, enc);
+    idea_crypt_block(cipher, back, dec);
+    for (int i = 0; i < 8; ++i) ASSERT_EQ(back[i], plain[i]);
+    bool differs = false;
+    for (int i = 0; i < 8; ++i) differs |= cipher[i] != plain[i];
+    EXPECT_TRUE(differs);
+  }
+}
+
+TEST(Idea, CanonicalPublishedTestVector) {
+  // The classic IDEA reference vector: key 0001 0002 ... 0008, plaintext
+  // 0000 0001 0002 0003 encrypts to 11FB ED2B 0198 6DE5.
+  idea_key key{};
+  for (int i = 0; i < 8; ++i) {
+    key[2 * i] = 0;
+    key[2 * i + 1] = static_cast<std::uint8_t>(i + 1);
+  }
+  const std::uint8_t plain[8] = {0, 0, 0, 1, 0, 2, 0, 3};
+  const std::uint8_t expected[8] = {0x11, 0xFB, 0xED, 0x2B,
+                                    0x01, 0x98, 0x6D, 0xE5};
+  std::uint8_t cipher[8];
+  idea_crypt_block(plain, cipher, idea_encrypt_subkeys(key));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(cipher[i], expected[i]) << i;
+  std::uint8_t back[8];
+  idea_crypt_block(cipher, back,
+                   idea_decrypt_subkeys(idea_encrypt_subkeys(key)));
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(back[i], plain[i]) << i;
+}
+
+TEST(Idea, KeyScheduleFirstBatchIsUserKey) {
+  idea_key key{};
+  for (int i = 0; i < 16; ++i) key[i] = static_cast<std::uint8_t>(i + 1);
+  const idea_subkeys enc = idea_encrypt_subkeys(key);
+  EXPECT_EQ(enc[0], 0x0102);
+  EXPECT_EQ(enc[7], 0x0F10);
+}
+
+// --------------------------------------------------------------- mode matrix
+
+struct mode_case {
+  const char* name;
+  runtime_config config;
+};
+
+const mode_case k_modes[] = {
+    {"elision", {.mode = exec_mode::serial_elision}},
+    {"serial", {.mode = exec_mode::serial_dfs}},
+    {"parallel", {.mode = exec_mode::parallel, .workers = 3}},
+};
+
+class WorkloadModes : public ::testing::TestWithParam<int> {
+ protected:
+  const mode_case& mode() const { return k_modes[GetParam()]; }
+};
+
+TEST_P(WorkloadModes, SeriesAsyncFinish) {
+  series_workload w({.coefficients = 60, .integration_points = 50});
+  runtime rt(mode().config);
+  rt.run([&] { w(); });
+  EXPECT_TRUE(w.verify()) << mode().name;
+}
+
+TEST_P(WorkloadModes, SeriesFutures) {
+  series_workload w({.coefficients = 60,
+                     .integration_points = 50,
+                     .use_futures = true});
+  runtime rt(mode().config);
+  rt.run([&] { w(); });
+  EXPECT_TRUE(w.verify()) << mode().name;
+}
+
+TEST_P(WorkloadModes, CryptAsyncFinish) {
+  crypt_workload w({.bytes = 4096});
+  runtime rt(mode().config);
+  rt.run([&] { w(); });
+  EXPECT_TRUE(w.verify()) << mode().name;
+}
+
+TEST_P(WorkloadModes, CryptFutures) {
+  crypt_workload w({.bytes = 4096, .use_futures = true});
+  runtime rt(mode().config);
+  rt.run([&] { w(); });
+  EXPECT_TRUE(w.verify()) << mode().name;
+}
+
+TEST_P(WorkloadModes, Jacobi) {
+  jacobi_workload w({.n = 34, .tile = 8, .iterations = 4});
+  runtime rt(mode().config);
+  rt.run([&] { w(); });
+  EXPECT_TRUE(w.verify()) << mode().name;
+}
+
+TEST_P(WorkloadModes, SmithWaterman) {
+  sw_workload w({.rows = 64, .cols = 48, .tile = 16});
+  runtime rt(mode().config);
+  rt.run([&] { w(); });
+  EXPECT_TRUE(w.verify()) << mode().name;
+  EXPECT_GT(w.best_score(), 0);
+}
+
+TEST_P(WorkloadModes, Strassen) {
+  strassen_workload w({.n = 32, .cutoff = 8});
+  runtime rt(mode().config);
+  rt.run([&] { w(); });
+  EXPECT_TRUE(w.verify()) << mode().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, WorkloadModes, ::testing::Range(0, 3),
+                         [](const auto& info) {
+                           return k_modes[info.param].name;
+                         });
+
+// Cross-mode determinism: race-free workloads must compute bit-identical
+// results in every execution mode (the determinacy property of Appendix A).
+TEST(WorkloadDeterminism, SeriesChecksumIdenticalAcrossModes) {
+  double checksums[3];
+  int idx = 0;
+  for (const auto& mode : k_modes) {
+    series_workload w({.coefficients = 50, .integration_points = 40,
+                       .use_futures = true});
+    runtime rt(mode.config);
+    rt.run([&] { w(); });
+    checksums[idx++] = w.checksum();
+  }
+  EXPECT_EQ(checksums[0], checksums[1]);
+  EXPECT_EQ(checksums[1], checksums[2]);
+}
+
+TEST(WorkloadDeterminism, JacobiChecksumIdenticalAcrossModes) {
+  double checksums[3];
+  int idx = 0;
+  for (const auto& mode : k_modes) {
+    jacobi_workload w({.n = 26, .tile = 8, .iterations = 3});
+    runtime rt(mode.config);
+    rt.run([&] { w(); });
+    checksums[idx++] = w.checksum();
+  }
+  EXPECT_EQ(checksums[0], checksums[1]);
+  EXPECT_EQ(checksums[1], checksums[2]);
+}
+
+// ------------------------------------------------------ detector integration
+
+template <typename Workload>
+detect::race_detector detect_on(Workload& w) {
+  detect::race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([&] { w(); });
+  return det;
+}
+
+TEST(WorkloadRaceFreedom, SeriesAfHasNoRacesAndNoNtJoins) {
+  series_workload w({.coefficients = 40, .integration_points = 30});
+  auto det = detect_on(w);
+  EXPECT_TRUE(w.verify());
+  EXPECT_FALSE(det.race_detected());
+  EXPECT_EQ(det.counters().non_tree_joins, 0u);
+  EXPECT_EQ(det.counters().tasks, 40u);
+}
+
+TEST(WorkloadRaceFreedom, SeriesFutureTreeJoinsOnly) {
+  series_workload w(
+      {.coefficients = 40, .integration_points = 30, .use_futures = true});
+  auto det = detect_on(w);
+  EXPECT_FALSE(det.race_detected());
+  // Handles joined by the parent: all gets are tree joins (paper §5).
+  EXPECT_EQ(det.counters().non_tree_joins, 0u);
+  EXPECT_EQ(det.counters().future_tasks, 40u);
+}
+
+TEST(WorkloadRaceFreedom, SeriesFutureHasExtraHandleAccesses) {
+  series_workload af({.coefficients = 40, .integration_points = 30});
+  series_workload fut(
+      {.coefficients = 40, .integration_points = 30, .use_futures = true});
+  auto det_af = detect_on(af);
+  auto det_fut = detect_on(fut);
+  // The future variant adds ≥ 2 shared accesses per task: the handle write
+  // at creation and the handle read at the join (paper §5's lower bound).
+  EXPECT_GE(det_fut.counters().shared_mem_accesses,
+            det_af.counters().shared_mem_accesses + 2 * 40);
+}
+
+TEST(WorkloadRaceFreedom, CryptBothVariants) {
+  crypt_workload af({.bytes = 2048});
+  crypt_workload fut({.bytes = 2048, .use_futures = true});
+  auto det_af = detect_on(af);
+  auto det_fut = detect_on(fut);
+  EXPECT_FALSE(det_af.race_detected());
+  EXPECT_FALSE(det_fut.race_detected());
+  EXPECT_EQ(det_af.counters().non_tree_joins, 0u);
+  EXPECT_EQ(det_fut.counters().non_tree_joins, 0u);
+  EXPECT_EQ(det_af.counters().tasks, 2u * 2048 / 8);
+}
+
+TEST(WorkloadRaceFreedom, JacobiUsesNonTreeJoins) {
+  jacobi_workload w({.n = 34, .tile = 8, .iterations = 4});
+  auto det = detect_on(w);
+  EXPECT_TRUE(w.verify());
+  EXPECT_FALSE(det.race_detected());
+  // Iterations ≥ 2 join sibling futures: non-tree joins appear.
+  EXPECT_GT(det.counters().non_tree_joins, 0u);
+  EXPECT_EQ(det.counters().tasks, 16u * 4);
+}
+
+TEST(WorkloadRaceFreedom, SmithWatermanWavefront) {
+  sw_workload w({.rows = 64, .cols = 64, .tile = 16});
+  auto det = detect_on(w);
+  EXPECT_TRUE(w.verify());
+  EXPECT_FALSE(det.race_detected());
+  // 4×4 tiles; every tile except row 0 / column 0 joins its neighbours.
+  EXPECT_GT(det.counters().non_tree_joins, 0u);
+  EXPECT_GT(det.counters().avg_readers, 0.0);
+}
+
+TEST(WorkloadRaceFreedom, StrassenFuturesAndCombiners) {
+  strassen_workload w({.n = 32, .cutoff = 8});
+  auto det = detect_on(w);
+  EXPECT_TRUE(w.verify());
+  EXPECT_FALSE(det.race_detected());
+  EXPECT_GT(det.counters().non_tree_joins, 0u);
+  EXPECT_GT(det.counters().future_tasks, 0u);
+}
+
+// ----------------------------------------------------- parameter sweeps
+// Odd sizes and non-divisible tiles exercise the boundary arithmetic in
+// every kernel; each configuration must still self-verify race-free.
+
+class JacobiSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(JacobiSweep, VerifiesRaceFree) {
+  const auto [n, tile, iters] = GetParam();
+  jacobi_workload w({.n = static_cast<std::size_t>(n),
+                     .tile = static_cast<std::size_t>(tile),
+                     .iterations = iters});
+  auto det = detect_on(w);
+  EXPECT_TRUE(w.verify()) << "n=" << n << " tile=" << tile;
+  EXPECT_FALSE(det.race_detected()) << "n=" << n << " tile=" << tile;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, JacobiSweep,
+    ::testing::Values(std::tuple{6, 1, 2},     // tiny, 1-cell tiles
+                      std::tuple{18, 16, 3},   // interior equals tile
+                      std::tuple{19, 8, 3},    // non-divisible interior
+                      std::tuple{35, 8, 5},    // ragged last tile
+                      std::tuple{34, 32, 1},   // single iteration
+                      std::tuple{50, 7, 4}));  // odd everything
+
+class SwSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SwSweep, VerifiesRaceFree) {
+  const auto [rows, cols, tile] = GetParam();
+  sw_workload w({.rows = static_cast<std::size_t>(rows),
+                 .cols = static_cast<std::size_t>(cols),
+                 .tile = static_cast<std::size_t>(tile)});
+  auto det = detect_on(w);
+  EXPECT_TRUE(w.verify()) << rows << "x" << cols << "/" << tile;
+  EXPECT_FALSE(det.race_detected()) << rows << "x" << cols << "/" << tile;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, SwSweep,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{37, 23, 10},
+                                           std::tuple{10, 64, 16},
+                                           std::tuple{64, 10, 16},
+                                           std::tuple{33, 33, 33},
+                                           std::tuple{40, 40, 64}));
+
+class CryptSweep : public ::testing::TestWithParam<std::tuple<int, int, bool>> {
+};
+
+TEST_P(CryptSweep, VerifiesRaceFree) {
+  const auto [bytes, blocks_per_task, use_futures] = GetParam();
+  crypt_workload w({.bytes = static_cast<std::size_t>(bytes),
+                    .blocks_per_task =
+                        static_cast<std::size_t>(blocks_per_task),
+                    .use_futures = use_futures});
+  auto det = detect_on(w);
+  EXPECT_TRUE(w.verify());
+  EXPECT_FALSE(det.race_detected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CryptSweep,
+                         ::testing::Values(std::tuple{8, 1, false},
+                                           std::tuple{100, 3, false},
+                                           std::tuple{1024, 7, true},
+                                           std::tuple{777, 2, true}));
+
+class StrassenSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(StrassenSweep, VerifiesRaceFree) {
+  const auto [n, cutoff] = GetParam();
+  strassen_workload w({.n = static_cast<std::size_t>(n),
+                       .cutoff = static_cast<std::size_t>(cutoff)});
+  auto det = detect_on(w);
+  EXPECT_TRUE(w.verify()) << n << "/" << cutoff;
+  EXPECT_FALSE(det.race_detected()) << n << "/" << cutoff;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, StrassenSweep,
+                         ::testing::Values(std::tuple{4, 2},
+                                           std::tuple{16, 2},
+                                           std::tuple{16, 16},
+                                           std::tuple{64, 16}));
+
+// A deliberately broken Jacobi (missing neighbour dependencies) must be
+// caught: this guards against the workload accidentally serializing so much
+// that the detector has nothing to check.
+TEST(WorkloadRaceDetection, JacobiWithDroppedDependencyRaces) {
+  jacobi_workload good({.n = 34, .tile = 8, .iterations = 4});
+  auto det = detect_on(good);
+  EXPECT_FALSE(det.race_detected());
+
+  // Hand-rolled bad variant: tiles at iteration k only wait for their own
+  // tile at k-1, not the neighbours whose halo rows they read.
+  detect::race_detector bad_det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&bad_det);
+  rt.run([&] {
+    constexpr std::size_t n = 18;
+    constexpr std::size_t tile = 8;
+    constexpr std::size_t tiles = 2;
+    shared_array<double> grid[2]{shared_array<double>(n * n, 1.0),
+                                 shared_array<double>(n * n, 1.0)};
+    std::vector<std::vector<future<void>>> done(
+        2, std::vector<future<void>>(tiles * tiles));
+    for (int k = 1; k <= 3; ++k) {
+      auto& src = grid[(k - 1) % 2];
+      auto& dst = grid[k % 2];
+      for (std::size_t tr = 0; tr < tiles; ++tr) {
+        for (std::size_t tc = 0; tc < tiles; ++tc) {
+          future<void> self_dep =
+              k >= 2 ? done[(k - 1) % 2][tr * tiles + tc] : future<void>{};
+          const std::size_t r0 = 1 + tr * tile;
+          const std::size_t r1 = std::min(r0 + tile, n - 1);
+          const std::size_t c0 = 1 + tc * tile;
+          const std::size_t c1 = std::min(c0 + tile, n - 1);
+          done[k % 2][tr * tiles + tc] =
+              async_future([&src, &dst, self_dep, r0, r1, c0, c1] {
+                if (self_dep.valid()) self_dep.get();
+                for (std::size_t r = r0; r < r1; ++r) {
+                  for (std::size_t c = c0; c < c1; ++c) {
+                    dst.write(r * n + c,
+                              0.25 * (src.read((r - 1) * n + c) +
+                                      src.read((r + 1) * n + c) +
+                                      src.read(r * n + c - 1) +
+                                      src.read(r * n + c + 1)));
+                  }
+                }
+              });
+        }
+      }
+    }
+    for (auto& f : done[3 % 2]) f.get();
+    for (auto& f : done[0]) {
+      if (f.valid()) f.get();
+    }
+  });
+  EXPECT_TRUE(bad_det.race_detected())
+      << "dropping neighbour dependencies must produce detectable races";
+}
+
+}  // namespace
+}  // namespace futrace::workloads

@@ -1,0 +1,70 @@
+// Developer tool: replay one progen seed and dump per-location disagreement
+// details between the detector and the step-level oracle.
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include "futrace/baselines/oracle_detector.hpp"
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/progen/random_program.hpp"
+#include "futrace/runtime/runtime.hpp"
+
+using namespace futrace;
+
+struct tracer : execution_observer {
+  void on_task_spawn(task_id p, task_id c, task_kind k) override {
+    printf("  spawn %u -> %u (%s)\n", p, c, task_kind_name(k));
+  }
+  void on_task_end(task_id t) override { printf("  end %u\n", t); }
+  void on_finish_start(task_id o) override { printf("  fstart %u\n", o); }
+  void on_finish_end(task_id o, std::span<const task_id> j) override {
+    printf("  fend %u [", o);
+    for (task_id t : j) printf("%u ", t);
+    printf("]\n");
+  }
+  void on_get(task_id w, task_id t) override { printf("  get %u <- %u\n", w, t); }
+  void on_read(task_id t, const void* a, std::size_t, access_site) override {
+    printf("  read t%u %p\n", t, a);
+  }
+  void on_write(task_id t, const void* a, std::size_t, access_site) override {
+    printf("  write t%u %p\n", t, a);
+  }
+};
+
+int main(int argc, char** argv) {
+  progen::progen_config cfg;
+  cfg.seed = argc > 1 ? strtoull(argv[1], nullptr, 10) : 10;
+  progen::random_program prog(cfg);
+  detect::race_detector det;
+  baselines::oracle_detector oracle;
+  tracer tr;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.add_observer(&oracle);
+  if (argc > 2) rt.add_observer(&tr);
+  rt.run([&] { prog(); });
+
+  auto var_of = [&](const void* a) {
+    for (int i = 0; i < prog.num_vars(); ++i)
+      if (prog.var_address(i) == a) return i;
+    return -1;
+  };
+  std::set<int> d, o;
+  for (const void* a : det.racy_locations()) d.insert(var_of(a));
+  for (const void* a : oracle.racy_locations()) o.insert(var_of(a));
+  printf("detector:");
+  for (int v : d) printf(" %d", v);
+  printf("\noracle:  ");
+  for (int v : o) printf(" %d", v);
+  printf("\n");
+  const auto& g = oracle.graph();
+  for (const auto& p : oracle.racy_pairs()) {
+    const int v = var_of(p.location);
+    if (d.count(v) && !o.count(v)) continue;
+    if (d.count(v)) continue;
+    printf("missed var %d (%p): step %u (task %u,%s) || step %u (task %u,%s)\n",
+           v, p.location, p.first, g.task_of(p.first),
+           p.first_is_write ? "W" : "R", p.second, g.task_of(p.second),
+           p.second_is_write ? "W" : "R");
+  }
+  return 0;
+}
