@@ -6,6 +6,7 @@
 // point that race freedom (on handles included) implies deadlock freedom.
 
 #include <cstdio>
+#include <cstring>
 
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/runtime/runtime.hpp"
@@ -31,10 +32,45 @@ int main() {
         });
         (void)b.get();
       });
-      std::printf("  unexpectedly completed\n");
+      std::printf("  FAILED: expected deadlock_error, program completed\n");
       return 1;
     } catch (const deadlock_error& e) {
       std::printf("  deadlock_error: %s\n\n", e.what());
+    } catch (const std::exception& e) {
+      std::printf("  FAILED: expected deadlock_error, got: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  // ---- The same cyclic wait on the parallel engine --------------------------
+  // Two future tasks get() each other (handles passed through promises).
+  // Instead of hanging, the watchdog dumps the wait graph: which tasks are
+  // blocked, what each waits on, and the cycle task A -> task B -> task A.
+  std::printf("running a cyclic future wait on the parallel engine...\n");
+  {
+    runtime rt({.mode = exec_mode::parallel,
+                .workers = 2,
+                .deadlock_timeout_ms = 200});
+    try {
+      rt.run([] {
+        promise<future<int>> pa, pb;
+        future<int> a = async_future([&] { return pb.get().get(); });
+        future<int> b = async_future([&] { return pa.get().get(); });
+        pa.put(a);
+        pb.put(b);
+        (void)a.get();
+      });
+      std::printf("  FAILED: expected deadlock_error, program completed\n");
+      return 1;
+    } catch (const deadlock_error& e) {
+      std::printf("  deadlock_error:\n%s\n\n", e.what());
+      if (std::strstr(e.what(), "blocked: task") == nullptr) {
+        std::printf("  FAILED: report does not list the blocked tasks\n");
+        return 1;
+      }
+    } catch (const std::exception& e) {
+      std::printf("  FAILED: expected deadlock_error, got: %s\n", e.what());
+      return 1;
     }
   }
 

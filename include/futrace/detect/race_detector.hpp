@@ -42,6 +42,12 @@ struct detector_counters {
   std::uint64_t locations = 0;
   std::uint64_t races_observed = 0;
   std::uint64_t racy_locations = 0;
+  /// Accesses that were counted but not shadow-tracked (degraded mode).
+  std::uint64_t untracked_accesses = 0;
+  /// True iff a resource cap (or injected allocation failure) forced the
+  /// detector to stop materializing state; counts above keep counting, but
+  /// race reports from that point on are incomplete.
+  bool degraded = false;
 };
 
 /// Thrown by the detector when options::fail_fast is set and the first
@@ -67,6 +73,14 @@ class race_detector final : public execution_observer {
     /// the CI-style fail-fast mode. The first report is always a true race
     /// (precision holds up to the first race even under racy handle flows).
     bool fail_fast = false;
+    /// Cap on reachability-graph task vertices; 0 = unlimited. Beyond the
+    /// cap the detector degrades gracefully instead of growing: counters
+    /// keep counting, race checks stop.
+    std::size_t max_tasks = 0;
+    /// Cap on shadow-memory table bytes; 0 = unlimited. Beyond the cap (or
+    /// on an injected allocation failure) new locations stop materializing;
+    /// already-tracked locations keep full detection.
+    std::size_t max_shadow_bytes = 0;
   };
 
   race_detector();
@@ -87,6 +101,13 @@ class race_detector final : public execution_observer {
   // -- results ----------------------------------------------------------------
   bool race_detected() const noexcept { return races_observed_ > 0; }
   std::uint64_t race_count() const noexcept { return races_observed_; }
+
+  /// True once a resource cap or injected allocation failure made the
+  /// detector stop materializing state. Sticky; the detector stays fully
+  /// queryable, but reports after the degradation point are incomplete.
+  bool degraded() const noexcept {
+    return graph_degraded_ || shadow_.degraded();
+  }
   const std::vector<race_report>& reports() const noexcept { return reports_; }
 
   /// Distinct locations with at least one detected race, sorted by address.
@@ -134,6 +155,11 @@ class race_detector final : public execution_observer {
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t promise_puts_ = 0;
+  /// Set when the task cap (or an injected node-allocation failure) fires:
+  /// tasks past this point have no graph vertex, so every reachability
+  /// query — and with it all race checking — stops. Scalar counters and
+  /// already-collected reports remain valid and queryable.
+  bool graph_degraded_ = false;
 };
 
 }  // namespace futrace::detect

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "futrace/runtime/observer.hpp"
+#include "futrace/support/alloc_gate.hpp"
 #include "futrace/support/ptr_map.hpp"
 
 namespace futrace::detect {
@@ -128,6 +129,47 @@ class shadow_memory {
     return cell;
   }
 
+  /// Caps the shadow table's heap footprint; 0 means unlimited. Once the cap
+  /// (or an injected allocation failure) is hit, the map degrades: existing
+  /// cells keep working, new locations stop materializing, and accesses keep
+  /// being counted.
+  void set_max_bytes(std::size_t bytes) noexcept { max_bytes_ = bytes; }
+
+  /// True once an insertion was refused (byte cap or injected allocation
+  /// failure). Sticky: detection results are incomplete from that point on.
+  bool degraded() const noexcept { return degraded_; }
+
+  /// Resource-capped variant of access(): returns nullptr instead of
+  /// materializing a cell when the table cannot (or must not) grow. The
+  /// access is counted either way — Table 2 counters survive degradation.
+  shadow_cell* try_access(const void* addr) {
+    ++accesses_;
+    if (shadow_cell* cell = cells_.find(addr)) {
+      readers_sampled_ += cell->reader_count();
+      return cell;
+    }
+    if (!degraded_) {
+      const bool over_cap =
+          max_bytes_ != 0 && cells_.bytes_after_insert() > max_bytes_;
+      if (!over_cap && !support::alloc_should_fail(sizeof(shadow_cell))) {
+        return &cells_[addr];
+      }
+      degraded_ = true;
+    }
+    ++skipped_;
+    return nullptr;
+  }
+
+  /// Counts an access without touching storage (used once the detector's
+  /// reachability graph has degraded and cell contents no longer matter).
+  void count_only() noexcept {
+    ++accesses_;
+    ++skipped_;
+  }
+
+  /// Accesses whose shadow state was not tracked (degraded mode).
+  std::uint64_t skipped_accesses() const noexcept { return skipped_; }
+
   /// Number of distinct locations touched.
   std::size_t location_count() const noexcept { return cells_.size(); }
 
@@ -171,6 +213,9 @@ class shadow_memory {
   std::uint64_t accesses_ = 0;
   std::uint64_t readers_sampled_ = 0;
   std::uint64_t max_readers_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::size_t max_bytes_ = 0;  // 0 = unlimited
+  bool degraded_ = false;
 };
 
 }  // namespace futrace::detect

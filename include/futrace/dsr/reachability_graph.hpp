@@ -59,6 +59,16 @@ class reachability_graph {
   reachability_graph(reachability_graph&&) noexcept = default;
   reachability_graph& operator=(reachability_graph&&) noexcept = default;
 
+  /// Caps the number of task vertices; 0 means unlimited. The graph never
+  /// refuses a create_task itself — the owning detector checks at_capacity()
+  /// before each spawn and degrades (stops tracking) instead of growing.
+  void set_max_tasks(std::size_t n) noexcept { max_tasks_ = n; }
+
+  /// True once the vertex count has reached the configured cap.
+  bool at_capacity() const noexcept {
+    return max_tasks_ != 0 && nodes_.size() >= max_tasks_;
+  }
+
   /// Algorithm 1: creates the root (main) task. Must be the first call.
   task_id create_root();
 
@@ -143,6 +153,7 @@ class reachability_graph {
   std::vector<node> nodes_;
   label_allocator labels_;
   std::uint64_t query_epoch_ = 0;
+  std::size_t max_tasks_ = 0;  // 0 = unlimited
   reachability_stats stats_;
 };
 

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "futrace/inject/hooks.hpp"
 #include "futrace/runtime/engine.hpp"
 #include "futrace/runtime/future.hpp"
 
@@ -33,6 +34,7 @@ namespace futrace {
 /// end of its Immediately Enclosing Finish.
 template <typename Fn>
 void async(Fn&& fn) {
+  inject::spawn_site();
   detail::engine& eng = detail::require_engine();
   switch (eng.mode()) {
     case exec_mode::serial_elision:
@@ -53,6 +55,7 @@ void async(Fn&& fn) {
 /// Exceptions thrown by `fn` are captured and rethrown from get().
 template <typename Fn>
 auto async_future(Fn&& fn) {
+  inject::spawn_site();
   using T = std::invoke_result_t<std::decay_t<Fn>&>;
   detail::engine& eng = detail::require_engine();
   auto state = std::make_shared<detail::future_state<T>>();
@@ -87,7 +90,8 @@ auto async_future(Fn&& fn) {
     case exec_mode::parallel: {
       eng.parallel_spawn(
           [state, body = std::decay_t<Fn>(std::forward<Fn>(fn)),
-           evaluate]() mutable { evaluate(*state, body); });
+           evaluate]() mutable { evaluate(*state, body); },
+          state.get());
       break;
     }
   }
@@ -106,8 +110,17 @@ void finish(Fn&& fn) {
   try {
     std::forward<Fn>(fn)();
   } catch (...) {
-    eng.finish_end();
-    throw;
+    // First exception wins: the finish still joins every outstanding child
+    // (the parallel engine drains them in finish_end), but errors raised
+    // during that teardown — a child's own failure, a detector report, a
+    // deadlock on an abandoned child — do not displace the one that started
+    // the unwinding.
+    const std::exception_ptr primary = std::current_exception();
+    try {
+      eng.finish_end();
+    } catch (...) {
+    }
+    std::rethrow_exception(primary);
   }
   eng.finish_end();
 }
@@ -122,6 +135,11 @@ struct runtime_config {
   exec_mode mode = exec_mode::serial_dfs;
   /// Worker-thread count for parallel mode; 0 means hardware concurrency.
   unsigned workers = 0;
+  /// How long a parallel-mode wait (future/promise get) may find no runnable
+  /// work before the watchdog declares deadlock and dumps the wait graph.
+  /// Enclosing finish scopes wait 3x this before abandoning, giving blocked
+  /// children time to fail and join first.
+  std::uint32_t deadlock_timeout_ms = 10000;
 };
 
 /// Hosts one program execution. Observers (race detectors, computation-graph

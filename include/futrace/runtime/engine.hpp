@@ -44,7 +44,11 @@ struct future_state_base {
   static constexpr std::uint32_t k_failed = 2;
 
   std::atomic<std::uint32_t> status{k_pending};
-  task_id task = k_invalid_task;  // dense id in serial modes
+  /// Producing task: the dense id in serial modes, or the parallel engine's
+  /// own spawn-order id (used by the deadlock watchdog's wait-graph dump).
+  /// Atomic because the watchdog reads it from a different worker than the
+  /// one that assigned it.
+  std::atomic<task_id> task{k_invalid_task};
   std::exception_ptr error;
 
   virtual ~future_state_base() = default;
@@ -93,8 +97,12 @@ class engine {
 
   // -- Parallel (deferred) spawning; serial engines run via spawn_begin ------
 
-  /// Enqueues a task body for asynchronous execution.
-  virtual void parallel_spawn(std::function<void()> body);
+  /// Enqueues a task body for asynchronous execution. `produces`, when
+  /// non-null, is the future state the task will settle; the engine stamps
+  /// it with the task's id so a stalled get() can name its producer in the
+  /// deadlock report.
+  virtual void parallel_spawn(std::function<void()> body,
+                              future_state_base* produces = nullptr);
 
   /// Blocks (or, in serial modes, validates and instruments) a get() on the
   /// given future state. On return the state is settled.

@@ -14,6 +14,7 @@
 #include <optional>
 #include <utility>
 
+#include "futrace/inject/hooks.hpp"
 #include "futrace/runtime/engine.hpp"
 #include "futrace/runtime/errors.hpp"
 
@@ -47,7 +48,8 @@ class future {
   /// The dense id of the producing task in serial executions, or
   /// k_invalid_task in elision/parallel modes.
   task_id task() const noexcept {
-    return state_ ? state_->task : k_invalid_task;
+    return state_ ? state_->task.load(std::memory_order_relaxed)
+                  : k_invalid_task;
   }
 
   /// Joins the producing task and returns its result. Inside a serial DFS
@@ -56,6 +58,7 @@ class future {
   /// execute other tasks while waiting. Rethrows any exception the task
   /// body raised.
   T get() const {
+    inject::get_site();
     wait();
     state_->rethrow_if_failed();
     if constexpr (!std::is_void_v<T>) {

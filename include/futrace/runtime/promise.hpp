@@ -29,6 +29,7 @@
 #include <optional>
 #include <utility>
 
+#include "futrace/inject/hooks.hpp"
 #include "futrace/runtime/engine.hpp"
 #include "futrace/runtime/errors.hpp"
 
@@ -59,6 +60,7 @@ class promise {
   /// task (see file comment).
   template <typename U = T>
   void put(U&& value) {
+    inject::put_site();
     if (state_->settled()) {
       throw usage_error("promise fulfilled twice");
     }
@@ -71,6 +73,7 @@ class promise {
   void put()
     requires std::is_void_v<T>
   {
+    inject::put_site();
     if (state_->settled()) {
       throw usage_error("promise fulfilled twice");
     }
@@ -80,6 +83,7 @@ class promise {
   /// Joins the put(): every step of the fulfilling task up to the put
   /// happens-before the code after get(). Returns the stored value.
   T get() const {
+    inject::get_site();
     detail::context& c = detail::ctx();
     if (c.eng != nullptr) {
       c.eng->wait_promise(*state_);
@@ -97,6 +101,10 @@ class promise {
 
  private:
   void fulfill() {
+    // A dropped fulfillment leaves the promise unfulfilled forever: later
+    // getters take the Appendix A deadlock path (serial engines throw, the
+    // parallel watchdog fires). The value is stored but never published.
+    if (inject::drop_put_site()) return;
     detail::context& c = detail::ctx();
     if (c.eng != nullptr) {
       c.eng->promise_fulfilled(*state_);

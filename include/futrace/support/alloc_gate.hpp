@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file alloc_gate.hpp
+/// Process-wide allocation gate consulted by the library's growable
+/// structures (arena blocks, shadow-memory cells) before they reserve more
+/// memory. By default the gate is open and the check compiles down to one
+/// relaxed load and a predictable branch. The fault-injection subsystem
+/// (futrace::inject) installs a callback here to simulate allocation
+/// failure deterministically; the gate lives in support so that support
+/// never depends on the layers above it.
+
+#include <atomic>
+#include <cstddef>
+
+namespace futrace::support {
+
+/// Returns true if the allocation of `bytes` should be denied.
+using alloc_gate_fn = bool (*)(std::size_t bytes) noexcept;
+
+/// The installed gate callback slot (nullptr when no gate is installed).
+std::atomic<alloc_gate_fn>& alloc_gate() noexcept;
+
+/// True iff a gate is installed and denies this allocation. Callers decide
+/// what denial means: the arena throws std::bad_alloc, shadow memory
+/// degrades in place.
+inline bool alloc_should_fail(std::size_t bytes) noexcept {
+  const alloc_gate_fn fn = alloc_gate().load(std::memory_order_acquire);
+  return fn != nullptr && fn(bytes);
+}
+
+}  // namespace futrace::support

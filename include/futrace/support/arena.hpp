@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "futrace/support/alloc_gate.hpp"
 #include "futrace/support/assert.hpp"
 
 namespace futrace::support {
@@ -71,6 +72,9 @@ class arena {
  private:
   void new_block(std::size_t min_bytes) {
     std::size_t bytes = std::max(block_bytes_, min_bytes);
+    // Honors the process-wide allocation gate so fault-injection runs can
+    // exercise the owner's out-of-memory path deterministically.
+    if (alloc_should_fail(bytes)) throw std::bad_alloc();
     blocks_.emplace_back(new unsigned char[bytes]);
     cursor_ = reinterpret_cast<std::uintptr_t>(blocks_.back().get());
     limit_ = cursor_ + bytes;

@@ -86,6 +86,17 @@ class ptr_map {
     return slots_.capacity() * sizeof(slot);
   }
 
+  /// Footprint the table will have after one more insertion, accounting for
+  /// the growth step the insert would trigger. Lets byte-capped owners
+  /// (shadow memory under a resource limit) refuse the insert instead of
+  /// committing to the enlarged table.
+  std::size_t bytes_after_insert() const noexcept {
+    if ((size_ + 1) * 2 <= slots_.size()) return table_bytes();
+    const std::size_t grown =
+        slots_.size() < (1u << 22) ? slots_.size() * 4 : slots_.size() * 2;
+    return grown * sizeof(slot);
+  }
+
  private:
   struct slot {
     std::uintptr_t key = 0;

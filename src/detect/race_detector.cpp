@@ -32,6 +32,8 @@ race_detector::race_detector() : race_detector(options{}) {}
 
 race_detector::race_detector(options opts) : opts_(opts) {
   kinds_.reserve(1024);
+  graph_.set_max_tasks(opts_.max_tasks);
+  shadow_.set_max_bytes(opts_.max_shadow_bytes);
 }
 
 void race_detector::on_program_start(task_id root) {
@@ -43,11 +45,22 @@ void race_detector::on_program_start(task_id root) {
 
 void race_detector::on_task_spawn(task_id parent, task_id child,
                                   task_kind kind) {
+  // Per-task bookkeeping survives degradation: counters keep counting.
+  kinds_.push_back(kind);
+  put_flags_.push_back(0);
+  if (!graph_degraded_ &&
+      (graph_.at_capacity() ||
+       support::alloc_should_fail(sizeof(dsr::task_id) * 16))) {
+    // Graceful degradation: this task gets no reachability vertex, so every
+    // later precedes() query would be meaningless — stop race checking
+    // entirely rather than reporting nonsense. Everything collected so far
+    // stays queryable.
+    graph_degraded_ = true;
+  }
+  if (graph_degraded_) return;
   // Algorithm 2: label assignment, set creation, LSA inheritance.
   const dsr::task_id id = graph_.create_task(parent);
   FUTRACE_CHECK_MSG(id == child, "detector and runtime task ids diverged");
-  kinds_.push_back(kind);
-  put_flags_.push_back(0);
 }
 
 void race_detector::on_promise_put(task_id fulfiller) {
@@ -56,12 +69,14 @@ void race_detector::on_promise_put(task_id fulfiller) {
 }
 
 void race_detector::on_task_end(task_id t) {
+  if (graph_degraded_) return;
   // Algorithm 3: finalize the postorder value.
   graph_.on_terminate(t);
 }
 
 void race_detector::on_finish_end(task_id owner,
                                   std::span<const task_id> joined) {
+  if (graph_degraded_) return;
   // Algorithm 6: every task whose IEF just ended merges into the owner's
   // set (tree joins).
   for (const task_id t : joined) graph_.on_finish_join(owner, t);
@@ -70,6 +85,7 @@ void race_detector::on_finish_end(task_id owner,
 void race_detector::on_get(task_id waiter, task_id target) {
   // Algorithm 4: tree join (merge) or non-tree join (predecessor edge).
   ++get_operations_;
+  if (graph_degraded_) return;
   graph_.on_get(waiter, target);
 }
 
@@ -79,7 +95,13 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t,
   // reader is recorded unless a surviving parallel *async* reader already
   // covers an async reader (Lemma 4); future readers are always recorded.
   ++reads_;
-  shadow_cell& cell = shadow_.access(addr);
+  if (graph_degraded_) {
+    shadow_.count_only();
+    return;
+  }
+  shadow_cell* cell_ptr = shadow_.try_access(addr);
+  if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
+  shadow_cell& cell = *cell_ptr;
 
   bool covered = false;
   for (std::size_t i = 0; i < cell.reader_count();) {
@@ -108,7 +130,13 @@ void race_detector::on_write(task_id t, const void* addr, std::size_t,
   // Algorithm 8: check every stored reader and the previous writer; readers
   // that precede the write retire, racing readers stay recorded.
   ++writes_;
-  shadow_cell& cell = shadow_.access(addr);
+  if (graph_degraded_) {
+    shadow_.count_only();
+    return;
+  }
+  shadow_cell* cell_ptr = shadow_.try_access(addr);
+  if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
+  shadow_cell& cell = *cell_ptr;
 
   for (std::size_t i = 0; i < cell.reader_count();) {
     const reader_entry prev = cell.reader_at(i);
@@ -157,7 +185,9 @@ std::vector<const void*> race_detector::racy_locations() const {
 detector_counters race_detector::counters() const {
   detector_counters c;
   const auto& gs = graph_.stats();
-  c.tasks = gs.tasks_created > 0 ? gs.tasks_created - 1 : 0;  // minus root
+  // kinds_ tracks every spawned task even after the graph stops growing
+  // (degraded mode), so counters keep counting.
+  c.tasks = kinds_.empty() ? 0 : kinds_.size() - 1;  // minus root
   for (const task_kind k : kinds_) {
     if (k == task_kind::async) ++c.async_tasks;
     if (k == task_kind::future) ++c.future_tasks;
@@ -174,6 +204,8 @@ detector_counters race_detector::counters() const {
   c.locations = shadow_.location_count();
   c.races_observed = races_observed_;
   c.racy_locations = racy_locations().size();
+  c.untracked_accesses = shadow_.skipped_accesses();
+  c.degraded = degraded();
   return c;
 }
 

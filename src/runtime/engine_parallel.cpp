@@ -5,16 +5,33 @@
 ///
 /// Blocking operations (finish_end, future get) "help while waiting": the
 /// blocked worker drains its own deque and steals from others until its
-/// condition holds. A watchdog turns a permanently stalled wait (cyclic
-/// future dependences, paper Appendix A) into a deadlock_error instead of a
-/// silent hang.
+/// condition holds.
+///
+/// Failure model (see DESIGN.md "Failure model"):
+///  - Task exceptions are captured per finish scope, first-exception-wins;
+///    finish_end always drains every outstanding child before rethrowing, so
+///    a throw never leaks tasks or workers.
+///  - Every blocked wait registers in a wait table. A wait that finds no
+///    runnable work for deadlock_timeout_ms throws deadlock_error carrying a
+///    dump of the wait graph — which tasks are blocked, what each waits on,
+///    and the future/promise cycle when one exists (paper Appendix A) —
+///    instead of a bare timeout string.
+///  - finish scopes wait 3x the timeout before abandoning, so blocked
+///    children fail first and the finish collects their errors; abandonment
+///    (a child that never failed *and* never finished) leaks only that
+///    finish frame, deliberately, because outstanding children still
+///    reference it.
+///  - The destructor asserts that no task was leaked: everything spawned was
+///    either executed or accounted for as discarded at shutdown.
 
 #include <chrono>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "engines.hpp"
+#include "futrace/inject/hooks.hpp"
 #include "futrace/runtime/ws_deque.hpp"
 #include "futrace/support/assert.hpp"
 
@@ -24,18 +41,25 @@ namespace {
 
 class parallel_engine final : public engine {
  public:
-  explicit parallel_engine(unsigned workers)
+  explicit parallel_engine(unsigned workers, std::uint32_t deadlock_timeout_ms)
       : engine(exec_mode::parallel),
         worker_count_(workers == 0
                           ? std::max(1u, std::thread::hardware_concurrency())
-                          : workers) {
+                          : workers),
+        deadlock_timeout_(std::chrono::milliseconds(
+            deadlock_timeout_ms == 0 ? 1 : deadlock_timeout_ms)) {
     workers_.reserve(worker_count_);
     for (unsigned i = 0; i < worker_count_; ++i) {
       workers_.push_back(std::make_unique<worker>());
     }
+    waits_.resize(worker_count_);
   }
 
-  ~parallel_engine() override { stop_threads(); }
+  ~parallel_engine() override {
+    stop_threads();
+    FUTRACE_CHECK_MSG(live_tasks_.load(std::memory_order_acquire) == 0,
+                      "parallel engine leaked tasks at destruction");
+  }
 
   void run_program(const std::function<void()>& main_fn) override {
     FUTRACE_CHECK_MSG(!running_, "run_program is not reentrant");
@@ -44,8 +68,8 @@ class parallel_engine final : public engine {
     for (unsigned i = 1; i < worker_count_; ++i) {
       workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
     }
-    // The calling thread is worker 0 and executes main() directly.
-    tls_ = tl_state{this, 0, nullptr};
+    // The calling thread is worker 0 and executes main() (task 0) directly.
+    tls_ = tl_state{this, 0, nullptr, 0};
     std::exception_ptr program_error;
     finish_begin();  // implicit finish around main()
     try {
@@ -69,13 +93,19 @@ class parallel_engine final : public engine {
   }
   void spawn_end() override {}
 
-  void parallel_spawn(std::function<void()> body) override {
+  void parallel_spawn(std::function<void()> body,
+                      future_state_base* produces) override {
     tl_state& t = tls_;
     FUTRACE_CHECK_MSG(t.eng == this,
                       "async called from a thread outside the pool");
-    auto* pt = new ptask{std::move(body), t.current_finish};
+    const task_id id = static_cast<task_id>(
+        tasks_spawned_.fetch_add(1, std::memory_order_relaxed) + 1);
+    if (produces != nullptr) {
+      produces->task.store(id, std::memory_order_relaxed);
+    }
+    auto* pt = new ptask{std::move(body), t.current_finish, id};
     pt->ief->pending.fetch_add(1, std::memory_order_relaxed);
-    tasks_spawned_.fetch_add(1, std::memory_order_relaxed);
+    live_tasks_.fetch_add(1, std::memory_order_relaxed);
     workers_[t.index]->deque.push(pt);
   }
 
@@ -91,25 +121,34 @@ class parallel_engine final : public engine {
     tl_state& t = tls_;
     pfinish* frame = t.current_finish;
     FUTRACE_CHECK_MSG(frame != nullptr, "unbalanced finish_end");
-    stall_watchdog watchdog("finish did not quiesce");
-    while (frame->pending.load(std::memory_order_acquire) != 0) {
-      if (!try_help()) watchdog.stalled();
-    }
+    // Restore the parent frame immediately: if the wait below throws, the
+    // unwinding task must not keep spawning into an abandoned frame.
     t.current_finish = frame->parent;
+    if (frame->pending.load(std::memory_order_acquire) != 0) {
+      // 3x the wait timeout: children blocked on dead futures fail at 1x,
+      // drain into this frame, and the finish rethrows their error. Only a
+      // child that neither finishes nor fails forces abandonment.
+      wait_guard guard(*this, t.index,
+                       wait_record{t.task, k_invalid_task, "finish scope",
+                                   &frame->pending});
+      stall_clock clock(deadlock_timeout_ * 3);
+      while (frame->pending.load(std::memory_order_acquire) != 0) {
+        if (!try_help() && clock.expired()) {
+          abandoned_frames_.fetch_add(1, std::memory_order_relaxed);
+          throw deadlock_error(describe_stall(
+              t.index, t.task,
+              "finish did not quiesce: a child task neither completed nor "
+              "failed within the grace period"));
+        }
+      }
+    }
     std::exception_ptr err = frame->take_error();
     delete frame;
     if (err) std::rethrow_exception(err);
   }
 
   void wait_future(future_state_base& state) override {
-    tl_state& t = tls_;
-    FUTRACE_CHECK_MSG(t.eng == this, "get() from a thread outside the pool");
-    stall_watchdog watchdog(
-        "future never completed: the program has a cyclic future dependence "
-        "(deadlock, paper Appendix A) or a lost task");
-    while (!state.settled()) {
-      if (!try_help()) watchdog.stalled();
-    }
+    blocking_wait(state, "future");
   }
 
   void promise_fulfilled(future_state_base& state) override {
@@ -117,14 +156,7 @@ class parallel_engine final : public engine {
   }
 
   void wait_promise(future_state_base& state) override {
-    tl_state& t = tls_;
-    FUTRACE_CHECK_MSG(t.eng == this, "get() from a thread outside the pool");
-    stall_watchdog watchdog(
-        "promise never fulfilled: the program deadlocks (paper Appendix A) "
-        "or the put() was lost");
-    while (!state.settled()) {
-      if (!try_help()) watchdog.stalled();
-    }
+    blocking_wait(state, "promise");
   }
 
   void note_read(const void*, std::size_t, access_site) override {}
@@ -156,6 +188,7 @@ class parallel_engine final : public engine {
   struct ptask {
     std::function<void()> body;
     pfinish* ief;
+    task_id id;
   };
 
   struct worker {
@@ -167,34 +200,150 @@ class parallel_engine final : public engine {
     parallel_engine* eng = nullptr;
     unsigned index = 0;
     pfinish* current_finish = nullptr;
+    task_id task = k_invalid_task;  // task currently executing on this thread
   };
 
-  /// Converts a permanently stalled help-loop into a deadlock_error after
-  /// ~10 seconds without any runnable work.
-  class stall_watchdog {
-   public:
-    explicit stall_watchdog(const char* what) : what_(what) {}
+  /// One blocked wait, published so the watchdog can dump the wait graph.
+  struct wait_record {
+    task_id task = k_invalid_task;        // the blocked task
+    task_id producer = k_invalid_task;    // known producer of the awaited state
+    const char* what = nullptr;           // "future" / "promise" / "finish scope"
+    const std::atomic<std::int64_t>* finish_pending = nullptr;
+    bool active = false;
+    unsigned worker = 0;  // filled in when the dump snapshots the table
+  };
 
-    void stalled() {
-      if ((++spins_ & 0x3FF) == 0) {
-        const auto now = std::chrono::steady_clock::now();
-        if (start_ == std::chrono::steady_clock::time_point{}) {
-          start_ = now;
-        } else if (now - start_ > std::chrono::seconds(10)) {
-          throw deadlock_error(what_);
-        }
-        std::this_thread::yield();
-      }
+  /// Registers one blocked wait for the watchdog's wait-graph dump. Waits
+  /// nest (a help loop can run a task that blocks again on the same worker),
+  /// so each worker keeps a stack of active records, not a single slot.
+  class wait_guard {
+   public:
+    wait_guard(parallel_engine& eng, unsigned slot, wait_record record)
+        : eng_(eng), slot_(slot) {
+      record.active = true;
+      std::lock_guard<std::mutex> lock(eng_.wait_mutex_);
+      eng_.waits_[slot_].push_back(record);
+    }
+    ~wait_guard() {
+      std::lock_guard<std::mutex> lock(eng_.wait_mutex_);
+      eng_.waits_[slot_].pop_back();
     }
 
    private:
-    const char* what_;
+    parallel_engine& eng_;
+    unsigned slot_;
+  };
+
+  /// Tracks how long a wait has gone without finding runnable work. The
+  /// deadline starts at the first failed help attempt, so a wait that keeps
+  /// finding work is never declared dead (it is making global progress).
+  class stall_clock {
+   public:
+    explicit stall_clock(std::chrono::steady_clock::duration budget)
+        : budget_(budget) {}
+
+    /// Called after a failed help attempt; true once the budget is spent.
+    bool expired() {
+      if ((++spins_ & 0x3FF) != 0) return false;
+      const auto now = std::chrono::steady_clock::now();
+      if (start_ == std::chrono::steady_clock::time_point{}) {
+        start_ = now;
+      } else if (now - start_ > budget_) {
+        return true;
+      }
+      std::this_thread::yield();
+      return false;
+    }
+
+   private:
+    std::chrono::steady_clock::duration budget_;
     std::uint64_t spins_ = 0;
     std::chrono::steady_clock::time_point start_{};
   };
 
+  void blocking_wait(future_state_base& state, const char* what) {
+    tl_state& t = tls_;
+    FUTRACE_CHECK_MSG(t.eng == this, "get() from a thread outside the pool");
+    if (state.settled()) return;
+    wait_guard guard(*this, t.index,
+                     wait_record{t.task,
+                                 state.task.load(std::memory_order_relaxed),
+                                 what, nullptr});
+    stall_clock clock(deadlock_timeout_);
+    while (!state.settled()) {
+      if (!try_help() && clock.expired()) {
+        std::ostringstream headline;
+        headline << what << " never completed: the program has a cyclic "
+                 << "future/promise dependence (deadlock, paper Appendix A) "
+                 << "or a lost fulfillment";
+        throw deadlock_error(describe_stall(t.index, t.task, headline.str()));
+      }
+    }
+  }
+
+  /// Renders the wait table and any wait cycle into the deadlock report.
+  /// `self_task` is the task whose watchdog fired; the cycle walk starts
+  /// from it.
+  std::string describe_stall(unsigned self, task_id self_task,
+                             const std::string& headline) {
+    std::ostringstream out;
+    out << "deadlock detected: " << headline << "\n";
+    std::vector<wait_record> snapshot;
+    {
+      std::lock_guard<std::mutex> lock(wait_mutex_);
+      for (unsigned w = 0; w < waits_.size(); ++w) {
+        for (const wait_record& r : waits_[w]) {
+          wait_record copy = r;
+          copy.worker = w;
+          snapshot.push_back(copy);
+        }
+      }
+    }
+    for (const wait_record& r : snapshot) {
+      out << "  blocked: task " << r.task << " (worker " << r.worker
+          << (r.worker == self && r.task == self_task ? ", this wait" : "")
+          << ") waiting on " << r.what;
+      if (r.producer != k_invalid_task) {
+        out << " produced by task " << r.producer;
+      }
+      if (r.finish_pending != nullptr) {
+        out << " (" << r.finish_pending->load(std::memory_order_relaxed)
+            << " tasks outstanding)";
+      }
+      out << "\n";
+    }
+    // Follow waiter -> producer edges from this wait; a repeated task id is
+    // the future/promise cycle that proves the deadlock.
+    std::vector<task_id> chain;
+    task_id cursor = self_task;
+    while (cursor != k_invalid_task) {
+      for (std::size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i] == cursor) {
+          out << "  wait cycle: ";
+          for (std::size_t j = i; j < chain.size(); ++j) {
+            out << "task " << chain[j] << " -> ";
+          }
+          out << "task " << cursor;
+          return out.str();
+        }
+      }
+      chain.push_back(cursor);
+      task_id next = k_invalid_task;
+      for (const wait_record& r : snapshot) {
+        if (r.task == cursor) {
+          next = r.producer;
+          break;
+        }
+      }
+      cursor = next;
+    }
+    out << "  (no closed wait cycle among currently blocked tasks: a "
+           "fulfillment was lost or a producer is still running)";
+    return out.str();
+  }
+
   void worker_loop(unsigned index) {
-    tls_ = tl_state{this, index, nullptr};
+    tls_ = tl_state{this, index, nullptr, k_invalid_task};
     // Task bodies running on this thread use the public API, which routes
     // through the ambient context.
     ctx() = context{this, false};
@@ -210,12 +359,15 @@ class parallel_engine final : public engine {
 
   bool try_help() {
     tl_state& t = tls_;
+    if (inject::yield_site()) std::this_thread::yield();
     if (auto pt = workers_[t.index]->deque.pop()) {
       run_task(*pt);
       return true;
     }
-    // Steal sweep starting from a pseudo-random victim.
-    const unsigned start = steal_cursor_.fetch_add(1, std::memory_order_relaxed);
+    // Steal sweep starting from a pseudo-random victim (perturbable by the
+    // fault injector to explore different steal orders).
+    unsigned start = steal_cursor_.fetch_add(1, std::memory_order_relaxed);
+    start = inject::steal_start_site(t.index, worker_count_, start);
     for (unsigned k = 0; k < worker_count_; ++k) {
       const unsigned victim = (start + k) % worker_count_;
       if (victim == t.index) continue;
@@ -229,16 +381,20 @@ class parallel_engine final : public engine {
 
   void run_task(ptask* pt) {
     tl_state& t = tls_;
-    pfinish* saved = t.current_finish;
+    pfinish* saved_finish = t.current_finish;
+    const task_id saved_task = t.task;
     t.current_finish = pt->ief;
+    t.task = pt->id;
     try {
       pt->body();
     } catch (...) {
       pt->ief->record_error(std::current_exception());
     }
-    t.current_finish = saved;
+    t.current_finish = saved_finish;
+    t.task = saved_task;
     pt->ief->pending.fetch_sub(1, std::memory_order_release);
     delete pt;
+    live_tasks_.fetch_sub(1, std::memory_order_release);
   }
 
   void stop_threads() {
@@ -246,14 +402,32 @@ class parallel_engine final : public engine {
     for (auto& w : workers_) {
       if (w->thread.joinable()) w->thread.join();
     }
+    // After an abandoned finish the deques may still hold never-run tasks.
+    // Discard them with full accounting so the leak assertion in the
+    // destructor stays meaningful.
+    for (auto& w : workers_) {
+      while (auto pt = w->deque.pop()) {
+        (*pt)->ief->pending.fetch_sub(1, std::memory_order_release);
+        delete *pt;
+        live_tasks_.fetch_sub(1, std::memory_order_release);
+        discarded_tasks_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 
   const unsigned worker_count_;
+  const std::chrono::steady_clock::duration deadlock_timeout_;
   std::vector<std::unique_ptr<worker>> workers_;
   std::atomic<bool> done_{false};
   std::atomic<unsigned> steal_cursor_{0};
   std::atomic<std::uint64_t> tasks_spawned_{0};
+  std::atomic<std::int64_t> live_tasks_{0};
+  std::atomic<std::uint64_t> abandoned_frames_{0};
+  std::atomic<std::uint64_t> discarded_tasks_{0};
   bool running_ = false;
+
+  std::mutex wait_mutex_;
+  std::vector<std::vector<wait_record>> waits_;  // per-worker nested waits
 
   static thread_local tl_state tls_;
 };
@@ -262,8 +436,9 @@ thread_local parallel_engine::tl_state parallel_engine::tls_{};
 
 }  // namespace
 
-std::unique_ptr<engine> make_parallel_engine(unsigned workers) {
-  return std::make_unique<parallel_engine>(workers);
+std::unique_ptr<engine> make_parallel_engine(
+    unsigned workers, std::uint32_t deadlock_timeout_ms) {
+  return std::make_unique<parallel_engine>(workers, deadlock_timeout_ms);
 }
 
 }  // namespace futrace::detail

@@ -72,15 +72,19 @@ class serial_engine final : public engine {
     for (auto* obs : observers_) obs->on_program_start(root);
     // The implicit finish surrounding main() (paper §2).
     finish_begin();
+    std::exception_ptr err;
     try {
       main_fn();
     } catch (...) {
+      err = std::current_exception();
+    }
+    if (!err) {
       finish_end();
       end_root();
-      throw;
+      return;
     }
-    finish_end();
-    end_root();
+    unwind_after_error();
+    std::rethrow_exception(err);
   }
 
   task_id spawn_begin(task_kind kind) override {
@@ -236,6 +240,47 @@ class serial_engine final : public engine {
       const task_id id = task_stack_.back().id;
       task_stack_.pop_back();
       for (auto* obs : observers_) obs->on_task_end(id);
+    }
+  }
+
+  /// Completes teardown after an exception escaped the program. The stacks
+  /// may hold frames the unwinding skipped (an observer that throws from a
+  /// finish event leaves its frame open), so finish_end()'s invariant checks
+  /// cannot be reused here. Closes everything innermost-first, firing
+  /// best-effort completion events so attached observers see a balanced
+  /// stream and stay queryable after run() throws; secondary observer
+  /// exceptions are swallowed — the original exception wins.
+  void unwind_after_error() noexcept {
+    while (!task_stack_.empty()) {
+      const frame_entry top = task_stack_.back();
+      // Finish frames opened after `top` spawned live inside its subtree and
+      // must close before the task does; its own IEF belongs to the parent.
+      const std::size_t floor =
+          top.ief_frame == k_no_frame ? 0 : top.ief_frame + 1;
+      while (finish_stack_.size() > floor) {
+        finish_frame& frame = finish_stack_.back();
+        for (auto* obs : observers_) {
+          try {
+            obs->on_finish_end(top.id,
+                               std::span<const task_id>(frame.joined));
+          } catch (...) {
+          }
+        }
+        finish_stack_.pop_back();
+      }
+      task_stack_.pop_back();
+      for (auto* obs : observers_) {
+        try {
+          obs->on_task_end(top.id);
+        } catch (...) {
+        }
+      }
+    }
+    for (auto* obs : observers_) {
+      try {
+        obs->on_program_end();
+      } catch (...) {
+      }
     }
   }
 

@@ -14,6 +14,7 @@ namespace futrace::detail {
 std::unique_ptr<engine> make_elision_engine();
 std::unique_ptr<engine> make_serial_engine(
     std::vector<execution_observer*> observers);
-std::unique_ptr<engine> make_parallel_engine(unsigned workers);
+std::unique_ptr<engine> make_parallel_engine(unsigned workers,
+                                             std::uint32_t deadlock_timeout_ms);
 
 }  // namespace futrace::detail

@@ -33,7 +33,7 @@ const char* exec_mode_name(exec_mode mode) {
 
 namespace detail {
 
-void engine::parallel_spawn(std::function<void()>) {
+void engine::parallel_spawn(std::function<void()>, future_state_base*) {
   throw usage_error("parallel_spawn is only available in parallel mode");
 }
 
@@ -78,7 +78,8 @@ void runtime::run(const std::function<void()>& main_fn) {
       engine_ = detail::make_serial_engine(observers_);
       break;
     case exec_mode::parallel:
-      engine_ = detail::make_parallel_engine(config_.workers);
+      engine_ = detail::make_parallel_engine(config_.workers,
+                                             config_.deadlock_timeout_ms);
       break;
   }
 

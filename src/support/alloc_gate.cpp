@@ -1,0 +1,10 @@
+#include "futrace/support/alloc_gate.hpp"
+
+namespace futrace::support {
+
+std::atomic<alloc_gate_fn>& alloc_gate() noexcept {
+  static std::atomic<alloc_gate_fn> gate{nullptr};
+  return gate;
+}
+
+}  // namespace futrace::support

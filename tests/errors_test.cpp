@@ -1,0 +1,384 @@
+// Failure-model tests across all three engines: exception propagation out of
+// nested finish scopes (first exception wins, every sibling joined),
+// detector queryability after a throwing run, injected faults at API sites,
+// dropped promise fulfillments (the Appendix A deadlock path), the parallel
+// watchdog's wait-graph report, and resource-cap degradation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/inject/fault_injector.hpp"
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace {
+namespace {
+
+constexpr exec_mode k_all_modes[] = {
+    exec_mode::serial_elision, exec_mode::serial_dfs, exec_mode::parallel};
+
+runtime_config config_for(exec_mode mode) {
+  return {.mode = mode, .workers = 4, .deadlock_timeout_ms = 2000};
+}
+
+// --------------------------------------------------- exception propagation
+
+TEST(Errors, TaskThrowInNestedFinishPropagatesInEveryMode) {
+  for (const exec_mode mode : k_all_modes) {
+    SCOPED_TRACE(exec_mode_name(mode));
+    std::atomic<int> siblings{0};
+    runtime rt(config_for(mode));
+    try {
+      rt.run([&siblings] {
+        finish([&siblings] {
+          // Siblings spawned before the thrower must all join even though
+          // the scope fails.
+          for (int i = 0; i < 8; ++i) {
+            async([&siblings] { siblings.fetch_add(1); });
+          }
+          finish([] {
+            async([] { throw std::runtime_error("task body failed"); });
+          });
+        });
+      });
+      FAIL() << "expected the task's exception to escape run()";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ("task body failed", e.what());
+    }
+    // Guaranteed joining: in every mode the eight siblings were spawned
+    // before the thrower, so the failing finish still ran all of them.
+    EXPECT_EQ(8, siblings.load());
+  }
+}
+
+TEST(Errors, FirstExceptionWinsOverLaterSiblingFailures) {
+  // Serial modes run tasks inline in depth-first order, so "first" is
+  // deterministic: task #0 throws before later siblings spawn.
+  for (const exec_mode mode :
+       {exec_mode::serial_elision, exec_mode::serial_dfs}) {
+    SCOPED_TRACE(exec_mode_name(mode));
+    runtime rt(config_for(mode));
+    try {
+      rt.run([] {
+        finish([] {
+          for (int i = 0; i < 4; ++i) {
+            async([i] { throw std::runtime_error("fail #" +
+                                                 std::to_string(i)); });
+          }
+        });
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ("fail #0", e.what());
+    }
+  }
+  // The parallel engine cannot promise which sibling fails first, only that
+  // exactly one of the captured errors surfaces and every task joins.
+  runtime rt(config_for(exec_mode::parallel));
+  try {
+    rt.run([] {
+      finish([] {
+        for (int i = 0; i < 4; ++i) {
+          async([i] { throw std::runtime_error("fail #" +
+                                               std::to_string(i)); });
+        }
+      });
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(0, std::strncmp("fail #", e.what(), 6)) << e.what();
+  }
+}
+
+TEST(Errors, FinishBodyExceptionBeatsChildFailures) {
+  for (const exec_mode mode : k_all_modes) {
+    SCOPED_TRACE(exec_mode_name(mode));
+    std::atomic<int> joined{0};
+    runtime rt(config_for(mode));
+    try {
+      rt.run([&joined] {
+        finish([&joined] {
+          async([&joined] { joined.fetch_add(1); });
+          throw std::logic_error("finish body failed");
+        });
+      });
+      FAIL() << "expected the finish body's exception";
+    } catch (const std::logic_error& e) {
+      EXPECT_STREQ("finish body failed", e.what());
+    }
+    EXPECT_EQ(1, joined.load());  // the child still joined before rethrow
+  }
+}
+
+TEST(Errors, FutureGetRethrowsTaskException) {
+  for (const exec_mode mode : k_all_modes) {
+    SCOPED_TRACE(exec_mode_name(mode));
+    runtime rt(config_for(mode));
+    EXPECT_THROW(
+        rt.run([] {
+          auto f = async_future(
+              []() -> int { throw std::runtime_error("future failed"); });
+          (void)f.get();
+        }),
+        std::runtime_error);
+  }
+}
+
+// ----------------------------------------------------- detector teardown
+
+TEST(Errors, DetectorQueryableAfterFailFast) {
+  detect::race_detector det({.max_reports = 8, .fail_fast = true});
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  EXPECT_THROW(rt.run([] {
+                 shared<int> x;
+                 async([&x] { x.write(1); });
+                 async([&x] { x.write(2); });
+               }),
+               detect::race_found_error);
+  // The detector survives its own throw fully queryable.
+  EXPECT_TRUE(det.race_detected());
+  EXPECT_EQ(1u, det.race_count());
+  ASSERT_EQ(1u, det.reports().size());
+  EXPECT_EQ(detect::race_kind::write_write, det.reports()[0].kind);
+  EXPECT_EQ(1u, det.racy_locations().size());
+  EXPECT_GE(det.counters().tasks, 1u);
+  EXPECT_FALSE(det.degraded());
+}
+
+TEST(Errors, DetectorQueryableAfterUserException) {
+  detect::race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  EXPECT_THROW(rt.run([] {
+                 shared<int> x;
+                 finish([&x] {
+                   async([&x] { x.write(1); });
+                 });
+                 x.read();
+                 throw std::runtime_error("after the accesses");
+               }),
+               std::runtime_error);
+  const auto c = det.counters();
+  EXPECT_EQ(1u, c.writes);
+  EXPECT_EQ(1u, c.reads);
+  EXPECT_EQ(1u, c.tasks);
+  EXPECT_FALSE(det.race_detected());
+  // The ambient context is clear and a fresh detected run works.
+  detect::race_detector det2;
+  runtime rt2({.mode = exec_mode::serial_dfs});
+  rt2.add_observer(&det2);
+  rt2.run([] {
+    shared<int> y;
+    y.write(3);
+  });
+  EXPECT_EQ(1u, det2.counters().writes);
+}
+
+// ----------------------------------------------------- injected faults
+
+TEST(Errors, InjectedSpawnFaultFiresAtTheArmedOrdinal) {
+  for (const exec_mode mode : k_all_modes) {
+    SCOPED_TRACE(exec_mode_name(mode));
+    inject::fault_plan plan;
+    plan.throw_at_spawn = 3;
+    inject::fault_injector inj(plan);
+    inject::scoped_injector guard(inj);
+    std::atomic<int> ran{0};
+    runtime rt(config_for(mode));
+    EXPECT_THROW(rt.run([&ran] {
+                   finish([&ran] {
+                     for (int i = 0; i < 5; ++i) {
+                       async([&ran] { ran.fetch_add(1); });
+                     }
+                   });
+                 }),
+                 inject::injected_fault);
+    const auto c = inj.snapshot();
+    EXPECT_EQ(1u, c.thrown_spawn);
+    EXPECT_EQ(3u, c.spawn_sites);  // the throwing site is counted
+  }
+}
+
+TEST(Errors, InjectedGetAndPutFaults) {
+  inject::fault_plan plan;
+  plan.throw_at_get = 1;
+  {
+    inject::fault_injector inj(plan);
+    inject::scoped_injector guard(inj);
+    runtime rt({.mode = exec_mode::serial_dfs});
+    EXPECT_THROW(rt.run([] {
+                   auto f = async_future([] { return 7; });
+                   (void)f.get();
+                 }),
+                 inject::injected_fault);
+    EXPECT_EQ(1u, inj.snapshot().thrown_get);
+  }
+  inject::fault_plan put_plan;
+  put_plan.throw_at_put = 1;
+  {
+    inject::fault_injector inj(put_plan);
+    inject::scoped_injector guard(inj);
+    runtime rt({.mode = exec_mode::serial_dfs});
+    EXPECT_THROW(rt.run([] {
+                   promise<int> p;
+                   p.put(1);
+                 }),
+                 inject::injected_fault);
+    EXPECT_EQ(1u, inj.snapshot().thrown_put);
+  }
+}
+
+// ------------------------------------------- dropped puts and the watchdog
+
+TEST(Errors, DroppedPutDeadlocksSerially) {
+  inject::fault_plan plan;
+  plan.drop_put_at = 1;
+  inject::fault_injector inj(plan);
+  inject::scoped_injector guard(inj);
+  runtime rt({.mode = exec_mode::serial_dfs});
+  EXPECT_THROW(rt.run([] {
+                 promise<int> p;
+                 p.put(42);  // silently dropped
+                 (void)p.get();
+               }),
+               deadlock_error);
+  EXPECT_EQ(1u, inj.snapshot().dropped_puts);
+}
+
+TEST(Errors, DroppedPutTripsParallelWatchdogWithWaitGraph) {
+  inject::fault_plan plan;
+  plan.drop_put_at = 1;
+  inject::fault_injector inj(plan);
+  inject::scoped_injector guard(inj);
+  runtime rt({.mode = exec_mode::parallel,
+              .workers = 2,
+              .deadlock_timeout_ms = 300});
+  try {
+    rt.run([] {
+      promise<int> p;
+      finish([&p] {
+        async([&p] { p.put(9); });  // dropped
+        async([&p] { (void)p.get(); });
+      });
+    });
+    FAIL() << "expected deadlock_error";
+  } catch (const deadlock_error& e) {
+    // Satellite requirement: blocked task ids and what they wait on, not a
+    // bare timeout string.
+    EXPECT_NE(nullptr, std::strstr(e.what(), "blocked: task")) << e.what();
+    EXPECT_NE(nullptr, std::strstr(e.what(), "promise")) << e.what();
+  }
+  EXPECT_EQ(1u, inj.snapshot().dropped_puts);
+}
+
+TEST(Errors, ParallelDeadlockReportNamesTheCycle) {
+  runtime rt({.mode = exec_mode::parallel,
+              .workers = 2,
+              .deadlock_timeout_ms = 300});
+  try {
+    rt.run([] {
+      promise<future<int>> pa, pb;
+      future<int> a = async_future([&pb] { return pb.get().get(); });
+      future<int> b = async_future([&pa] { return pa.get().get(); });
+      pa.put(a);
+      pb.put(b);
+      (void)a.get();
+    });
+    FAIL() << "expected deadlock_error";
+  } catch (const deadlock_error& e) {
+    EXPECT_NE(nullptr, std::strstr(e.what(), "blocked: task")) << e.what();
+    EXPECT_NE(nullptr, std::strstr(e.what(), "wait cycle: task")) << e.what();
+    EXPECT_NE(nullptr, std::strstr(e.what(), "produced by task")) << e.what();
+  }
+}
+
+TEST(Errors, ParallelEngineUsableAfterWatchdogThrow) {
+  {
+    runtime rt({.mode = exec_mode::parallel,
+                .workers = 2,
+                .deadlock_timeout_ms = 200});
+    EXPECT_THROW(rt.run([] {
+                   promise<int> never;
+                   (void)never.get();
+                 }),
+                 deadlock_error);
+  }  // engine destructor asserts no leaked tasks
+  std::atomic<int> sum{0};
+  runtime rt({.mode = exec_mode::parallel, .workers = 4});
+  rt.run([&sum] {
+    finish([&sum] {
+      for (int i = 1; i <= 10; ++i) {
+        async([&sum, i] { sum.fetch_add(i); });
+      }
+    });
+  });
+  EXPECT_EQ(55, sum.load());
+}
+
+// ------------------------------------------------- resource-cap degradation
+
+TEST(Errors, TaskCapDegradesGracefully) {
+  detect::race_detector det({.max_tasks = 4});
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([] {
+    shared<int> x;
+    finish([&x] {
+      for (int i = 0; i < 10; ++i) {
+        async([&x] { x.write(1); });  // racy, but unseen once degraded
+      }
+    });
+  });
+  EXPECT_TRUE(det.degraded());
+  const auto c = det.counters();
+  EXPECT_TRUE(c.degraded);
+  EXPECT_EQ(10u, c.tasks);    // counters keep counting past the cap
+  EXPECT_EQ(10u, c.writes);
+  EXPECT_GT(c.untracked_accesses, 0u);
+}
+
+TEST(Errors, ShadowByteCapDegradesGracefully) {
+  // Full-fidelity baseline first.
+  const auto run_racy = [](detect::race_detector& det) {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.add_observer(&det);
+    shared_array<int> data(4096);
+    rt.run([&data] {
+      finish([&data] {
+        async([&data] {
+          for (std::size_t i = 0; i < data.size(); ++i) data.write(i, 1);
+        });
+        async([&data] {
+          for (std::size_t i = 0; i < data.size(); ++i) data.write(i, 2);
+        });
+      });
+    });
+  };
+  detect::race_detector full;
+  run_racy(full);
+  // Big enough for the table's initial allocation, small enough that the
+  // first growth step is refused (the map tracks ~512 of 4096 locations).
+  detect::race_detector capped({.max_reports = 1 << 20,
+                                .max_shadow_bytes = 64 * 1024});
+  run_racy(capped);
+
+  EXPECT_FALSE(full.degraded());
+  EXPECT_TRUE(capped.degraded());
+  const auto cf = full.counters();
+  const auto cc = capped.counters();
+  EXPECT_EQ(cf.reads, cc.reads);      // counters keep counting
+  EXPECT_EQ(cf.writes, cc.writes);
+  EXPECT_LT(cc.locations, cf.locations);  // reports stopped materializing
+  EXPECT_GT(cc.untracked_accesses, 0u);
+  // Degradation loses races; it never invents them.
+  EXPECT_LT(cc.racy_locations, cf.racy_locations);
+  EXPECT_GT(cc.racy_locations, 0u);  // tracked prefix still detected
+}
+
+}  // namespace
+}  // namespace futrace

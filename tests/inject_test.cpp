@@ -1,0 +1,147 @@
+// Unit tests for the fault-injection subsystem itself: ordinal triggers,
+// the support-layer allocation gate, scoped installation, plan descriptions,
+// and the flag round-trip. Engine-level fault behavior is covered by
+// errors_test.cpp and the fault_soak tool.
+
+#include <gtest/gtest.h>
+
+#include <new>
+
+#include "futrace/inject/fault_injector.hpp"
+#include "futrace/support/alloc_gate.hpp"
+#include "futrace/support/arena.hpp"
+#include "futrace/support/flags.hpp"
+
+namespace futrace::inject {
+namespace {
+
+TEST(FaultPlan, AnyAndDescribe) {
+  fault_plan empty;
+  EXPECT_FALSE(empty.any());
+  EXPECT_EQ("no-faults", empty.describe());
+
+  fault_plan p;
+  p.throw_at_spawn = 3;
+  p.yield_every = 7;
+  EXPECT_TRUE(p.any());
+  const std::string d = p.describe();
+  EXPECT_NE(std::string::npos, d.find("spawn-throw@3")) << d;
+  EXPECT_NE(std::string::npos, d.find("yield-every=7")) << d;
+}
+
+TEST(FaultPlan, FlagRoundTrip) {
+  support::flag_parser flags;
+  define_fault_flags(flags);
+  const char* argv[] = {"test",
+                        "--fault-seed=9",
+                        "--fault-get=4",
+                        "--fault-drop-put=2",
+                        "--fault-perturb-steals=true",
+                        "--fault-yield-every=5"};
+  flags.parse(static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+  const fault_plan p = fault_plan_from_flags(flags);
+  EXPECT_EQ(9u, p.seed);
+  EXPECT_EQ(4u, p.throw_at_get);
+  EXPECT_EQ(2u, p.drop_put_at);
+  EXPECT_TRUE(p.perturb_steals);
+  EXPECT_EQ(5u, p.yield_every);
+  EXPECT_EQ(0u, p.throw_at_spawn);
+}
+
+TEST(FaultInjector, OrdinalFiresExactlyOnce) {
+  fault_plan p;
+  p.throw_at_get = 3;
+  fault_injector inj(p);
+  scoped_injector guard(inj);
+  EXPECT_NO_THROW(get_site());
+  EXPECT_NO_THROW(get_site());
+  EXPECT_THROW(get_site(), injected_fault);
+  // The ordinal fired; later sites pass again.
+  EXPECT_NO_THROW(get_site());
+  const auto c = inj.snapshot();
+  EXPECT_EQ(4u, c.get_sites);
+  EXPECT_EQ(1u, c.thrown_get);
+}
+
+TEST(FaultInjector, HooksAreInertWithoutAnInstalledInjector) {
+  EXPECT_EQ(nullptr, current_injector());
+  EXPECT_NO_THROW(spawn_site());
+  EXPECT_NO_THROW(get_site());
+  EXPECT_NO_THROW(put_site());
+  EXPECT_FALSE(drop_put_site());
+  EXPECT_EQ(11u, steal_start_site(0, 4, 11));  // fallback passes through
+  EXPECT_FALSE(yield_site());
+  EXPECT_FALSE(support::alloc_should_fail(64));
+}
+
+TEST(FaultInjector, ScopedInstallAndUninstall) {
+  fault_injector inj(fault_plan{});
+  EXPECT_EQ(nullptr, current_injector());
+  {
+    scoped_injector guard(inj);
+    EXPECT_EQ(&inj, current_injector());
+  }
+  EXPECT_EQ(nullptr, current_injector());
+}
+
+TEST(FaultInjector, ArenaAllocationGate) {
+  fault_plan p;
+  p.fail_alloc_at = 2;
+  fault_injector inj(p);
+  scoped_injector guard(inj);
+  support::arena a(1024);
+  // First block allocation passes; the arena then grows on demand and the
+  // second gated allocation is denied.
+  EXPECT_NE(nullptr, a.allocate(512, 8));
+  EXPECT_THROW(a.allocate(4096, 8), std::bad_alloc);
+  EXPECT_EQ(1u, inj.snapshot().failed_allocs);
+  // The arena object itself stays usable within already-reserved blocks.
+  EXPECT_NE(nullptr, a.allocate(16, 8));
+}
+
+TEST(FaultInjector, FailAllocEveryRepeats) {
+  fault_plan p;
+  p.fail_alloc_at = 1;
+  p.fail_alloc_every = 2;
+  fault_injector inj(p);
+  scoped_injector guard(inj);
+  EXPECT_TRUE(inj.fail_alloc(8));    // ordinal 1: armed point
+  EXPECT_FALSE(inj.fail_alloc(8));   // ordinal 2
+  EXPECT_TRUE(inj.fail_alloc(8));    // ordinal 3: every 2nd after
+  EXPECT_FALSE(inj.fail_alloc(8));
+  EXPECT_TRUE(inj.fail_alloc(8));
+  EXPECT_EQ(3u, inj.snapshot().failed_allocs);
+}
+
+TEST(FaultInjector, StealPerturbationIsSeededAndBounded) {
+  fault_plan p;
+  p.perturb_steals = true;
+  p.seed = 1234;
+  fault_injector inj(p);
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const std::uint32_t v = inj.steal_start(0, 8, 5);
+    EXPECT_LT(v, 8u);
+  }
+  EXPECT_EQ(64u, inj.snapshot().perturbed_steals);
+  // Same plan, fresh injector: same victim sequence (determinism).
+  fault_injector inj2(p);
+  fault_injector inj3(p);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(inj2.steal_start(1, 8, 0), inj3.steal_start(1, 8, 0));
+  }
+}
+
+TEST(FaultInjector, ForcedYieldCadence) {
+  fault_plan p;
+  p.yield_every = 3;
+  fault_injector inj(p);
+  int yields = 0;
+  for (int i = 0; i < 12; ++i) {
+    if (inj.force_yield()) ++yields;
+  }
+  EXPECT_EQ(4, yields);
+  EXPECT_EQ(4u, inj.snapshot().forced_yields);
+}
+
+}  // namespace
+}  // namespace futrace::inject

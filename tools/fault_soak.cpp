@@ -1,0 +1,447 @@
+/// fault_soak: randomized fault-injection soak across all three engines.
+///
+/// For each seed the driver derives a deterministic fault plan and runs the
+/// property-test program generator (serial modes) and two builtin
+/// parallel-safe programs (parallel mode) under it, asserting the failure
+/// model the runtime promises:
+///
+///   1. Determinism: the same (program seed, plan) produces byte-identical
+///      outcomes on repeated serial depth-first runs.
+///   2. Passivity: an installed injector with an empty plan changes nothing
+///      relative to the uninstrumented baseline.
+///   3. Mode agreement: serial elision and serial DFS suffer the same fault
+///      at the same program point (same stats, same outcome class).
+///   4. Detector robustness: injected allocation failures never change
+///      program-side results; detector counters keep counting, the verdict
+///      only loses (never invents) races, and degraded() reports it.
+///   5. Cleanup: after any faulted run the ambient engine context is clear
+///      and a fresh runtime works, in every mode — no hang, no leaked
+///      worker, no leaked task (the engine destructor asserts this).
+///
+/// --stress-accesses N runs the resource-cap acceptance check instead: an
+/// N-access trace against a byte-capped shadow memory plus an injected
+/// allocation failure must complete, degrade gracefully, and keep counting.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/inject/fault_injector.hpp"
+#include "futrace/progen/random_program.hpp"
+#include "futrace/runtime/runtime.hpp"
+#include "futrace/support/flags.hpp"
+#include "futrace/support/rng.hpp"
+
+namespace {
+
+using namespace futrace;
+
+int g_failures = 0;
+
+void fail(std::uint64_t seed, const char* invariant, const std::string& detail) {
+  std::printf("FAIL seed=%llu %s: %s\n",
+              static_cast<unsigned long long>(seed), invariant,
+              detail.c_str());
+  ++g_failures;
+}
+
+/// Everything observable about one run, for byte-level comparison.
+struct outcome {
+  bool completed = false;
+  std::string error_kind;  // exception class, "" when completed
+  std::string error_what;
+  progen::progen_stats stats{};
+  std::uint64_t det_reads = 0;
+  std::uint64_t det_writes = 0;
+  std::vector<int> racy_vars;  // indices into the program's variable array
+  bool det_degraded = false;
+};
+
+bool stats_equal(const progen::progen_stats& a, const progen::progen_stats& b) {
+  return a.reads == b.reads && a.writes == b.writes && a.gets == b.gets &&
+         a.asyncs == b.asyncs && a.futures == b.futures &&
+         a.finishes == b.finishes && a.promises == b.promises &&
+         a.puts == b.puts && a.promise_gets == b.promise_gets;
+}
+
+bool outcomes_equal(const outcome& a, const outcome& b) {
+  return a.completed == b.completed && a.error_kind == b.error_kind &&
+         a.error_what == b.error_what && stats_equal(a.stats, b.stats) &&
+         a.det_reads == b.det_reads && a.det_writes == b.det_writes &&
+         a.racy_vars == b.racy_vars && a.det_degraded == b.det_degraded;
+}
+
+std::string describe(const outcome& o) {
+  if (o.completed) return "completed";
+  return o.error_kind + ": " + o.error_what;
+}
+
+bool subset(const std::vector<int>& small, const std::vector<int>& big) {
+  for (int v : small) {
+    if (std::find(big.begin(), big.end(), v) == big.end()) return false;
+  }
+  return true;
+}
+
+/// Runs `fn` inside a fresh runtime and classifies the result.
+template <typename Fn>
+void classify(runtime& rt, outcome& out, Fn&& fn) {
+  try {
+    rt.run(fn);
+    out.completed = true;
+  } catch (const inject::injected_fault& e) {
+    out.error_kind = "injected_fault";
+    out.error_what = e.what();
+  } catch (const detect::race_found_error& e) {
+    out.error_kind = "race_found_error";
+    out.error_what = e.what();
+  } catch (const deadlock_error& e) {
+    out.error_kind = "deadlock_error";
+    out.error_what = e.what();
+  } catch (const usage_error& e) {
+    out.error_kind = "usage_error";
+    out.error_what = e.what();
+  } catch (const futrace::runtime_error& e) {
+    out.error_kind = "runtime_error";
+    out.error_what = e.what();
+  } catch (const std::bad_alloc&) {
+    out.error_kind = "bad_alloc";
+  } catch (const std::exception& e) {
+    out.error_kind = "exception";
+    out.error_what = e.what();
+  }
+}
+
+/// One serial execution of the generated program. `plan` may be null (no
+/// injector installed); a detector is attached in serial_dfs mode only.
+outcome run_serial(exec_mode mode, progen::random_program& prog,
+                   const inject::fault_plan* plan) {
+  outcome out;
+  std::unique_ptr<inject::fault_injector> inj;
+  std::unique_ptr<inject::scoped_injector> guard;
+  if (plan != nullptr) {
+    inj = std::make_unique<inject::fault_injector>(*plan);
+    guard = std::make_unique<inject::scoped_injector>(*inj);
+  }
+  detect::race_detector det;
+  runtime rt({.mode = mode});
+  if (mode == exec_mode::serial_dfs) rt.add_observer(&det);
+  classify(rt, out, [&prog] { prog(); });
+  out.stats = prog.stats();
+  if (mode == exec_mode::serial_dfs) {
+    const auto c = det.counters();
+    out.det_reads = c.reads;
+    out.det_writes = c.writes;
+    out.det_degraded = c.degraded;
+    for (const void* addr : det.racy_locations()) {
+      for (int i = 0; i < prog.num_vars(); ++i) {
+        if (prog.var_address(i) == addr) out.racy_vars.push_back(i);
+      }
+    }
+  }
+  return out;
+}
+
+/// The ambient context must be clear and a fresh runtime must work after
+/// every run, faulted or not.
+void check_cleanup(std::uint64_t seed, exec_mode mode, const char* where) {
+  if (detail::ctx().eng != nullptr) {
+    fail(seed, where, "ambient engine context not cleared after run");
+    return;
+  }
+  int observed = 0;
+  runtime rt({.mode = mode, .workers = 2, .deadlock_timeout_ms = 5000});
+  try {
+    rt.run([&observed] {
+      finish([&observed] {
+        async([&observed] { observed = 1; });
+      });
+    });
+  } catch (const std::exception& e) {
+    fail(seed, where, std::string("fresh runtime failed after run: ") + e.what());
+    return;
+  }
+  if (observed != 1) fail(seed, where, "fresh runtime lost a task");
+}
+
+/// Derives the serial-mode fault plan for a seed. Roughly half the plans
+/// throw somewhere, a quarter deny allocations, the rest drop puts or stay
+/// empty (control group).
+inject::fault_plan serial_plan_for(std::uint64_t seed) {
+  support::xoshiro256 rng(seed ^ 0xFA01D5EEDULL);
+  inject::fault_plan p;
+  p.seed = seed;
+  switch (rng.below(8)) {
+    case 0:
+      p.throw_at_spawn = 1 + rng.below(40);
+      break;
+    case 1:
+      p.throw_at_get = 1 + rng.below(60);
+      break;
+    case 2:
+      p.throw_at_put = 1 + rng.below(10);
+      break;
+    case 3:
+    case 4:
+      p.fail_alloc_at = 1 + rng.below(64);
+      if (rng.chance(0.5)) p.fail_alloc_every = 1 + rng.below(8);
+      break;
+    case 5:
+      p.drop_put_at = 1 + rng.below(6);
+      break;
+    default:
+      break;  // empty plan: control group
+  }
+  return p;
+}
+
+void soak_serial_seed(std::uint64_t seed) {
+  progen::progen_config cfg;
+  cfg.seed = seed;
+  cfg.max_tasks = 120;
+  progen::random_program prog(cfg);
+
+  // Uninstrumented baseline, then the empty-plan passivity check.
+  const outcome base = run_serial(exec_mode::serial_dfs, prog, nullptr);
+  inject::fault_plan empty;
+  empty.seed = seed;
+  const outcome with_empty = run_serial(exec_mode::serial_dfs, prog, &empty);
+  if (!outcomes_equal(base, with_empty)) {
+    fail(seed, "passivity",
+         "empty plan changed the run: " + describe(base) + " vs " +
+             describe(with_empty));
+  }
+
+  // The seed's real plan: determinism across repeated DFS runs.
+  const inject::fault_plan plan = serial_plan_for(seed);
+  const outcome first = run_serial(exec_mode::serial_dfs, prog, &plan);
+  check_cleanup(seed, exec_mode::serial_dfs, "serial-cleanup");
+  const outcome second = run_serial(exec_mode::serial_dfs, prog, &plan);
+  if (!outcomes_equal(first, second)) {
+    fail(seed, "determinism",
+         plan.describe() + ": " + describe(first) + " vs " + describe(second));
+  }
+
+  // Mode agreement: the elision engine executes the identical depth-first
+  // order, so the same plan must fault the same program point. Allocation
+  // faults are exempt from the stats comparison only in that elision has no
+  // detector — but shadow degradation never aborts the program, so stats
+  // still agree.
+  const outcome elision = run_serial(exec_mode::serial_elision, prog, &plan);
+  if (elision.completed != first.completed ||
+      elision.error_kind != first.error_kind ||
+      !stats_equal(elision.stats, first.stats)) {
+    fail(seed, "mode-agreement",
+         plan.describe() + ": elision " + describe(elision) + " vs dfs " +
+             describe(first));
+  }
+
+  // Detector robustness under allocation faults: program-side results are
+  // unchanged, counters keep counting, the verdict only loses races.
+  if (plan.fail_alloc_at != 0) {
+    if (first.completed != base.completed ||
+        !stats_equal(first.stats, base.stats)) {
+      fail(seed, "alloc-transparency",
+           "allocation fault changed program behavior: " + describe(base) +
+               " vs " + describe(first));
+    }
+    if (first.det_reads != base.det_reads ||
+        first.det_writes != base.det_writes) {
+      fail(seed, "alloc-counters", "degraded detector stopped counting");
+    }
+    if (!subset(first.racy_vars, base.racy_vars)) {
+      fail(seed, "alloc-precision",
+           "degraded detector invented a race not in the baseline");
+    }
+  }
+}
+
+// ---- Parallel-safe builtin programs ----------------------------------------
+// progen's generated programs mutate generator state from task bodies and are
+// serial-only by design; the parallel soak uses these two instead.
+
+int future_tree(int depth) {
+  if (depth == 0) return 1;
+  auto left = async_future([depth] { return future_tree(depth - 1); });
+  auto right = async_future([depth] { return future_tree(depth - 1); });
+  return left.get() + right.get();
+}
+
+int promise_pipeline(int stages) {
+  std::vector<promise<int>> links(static_cast<std::size_t>(stages) + 1);
+  finish([&links, stages] {
+    for (int i = 1; i <= stages; ++i) {
+      async([&links, i] { links[i].put(links[i - 1].get() + 1); });
+    }
+    links[0].put(0);
+  });
+  return links[static_cast<std::size_t>(stages)].get();
+}
+
+inject::fault_plan parallel_plan_for(std::uint64_t seed) {
+  support::xoshiro256 rng(seed ^ 0x9A8A11E1ULL);
+  inject::fault_plan p;
+  p.seed = seed;
+  if (rng.chance(0.5)) p.perturb_steals = true;
+  if (rng.chance(0.4)) p.yield_every = 1 + static_cast<std::uint32_t>(rng.below(16));
+  switch (rng.below(6)) {
+    case 0:
+      p.throw_at_spawn = 1 + rng.below(40);
+      break;
+    case 1:
+      p.throw_at_get = 1 + rng.below(60);
+      break;
+    case 2:
+      p.throw_at_put = 1 + rng.below(8);
+      break;
+    default:
+      break;
+  }
+  // Dropped fulfillments force a real watchdog timeout per run; sample them.
+  if (seed % 8 == 3) p.drop_put_at = 1 + rng.below(6);
+  return p;
+}
+
+void soak_parallel_seed(std::uint64_t seed, std::uint32_t watchdog_ms) {
+  const inject::fault_plan plan = parallel_plan_for(seed);
+  inject::fault_injector inj(plan);
+  const bool pipeline = seed % 2 == 1;
+  const int depth = 5, stages = 24;
+  const int expected = pipeline ? stages : 1 << depth;
+
+  outcome out;
+  {
+    inject::scoped_injector guard(inj);
+    runtime rt({.mode = exec_mode::parallel,
+                .workers = 1 + static_cast<unsigned>(seed % 4),
+                .deadlock_timeout_ms = watchdog_ms});
+    int result = -1;
+    classify(rt, out, [&result, pipeline, depth, stages] {
+      result = pipeline ? promise_pipeline(stages) : future_tree(depth);
+    });
+    if (out.completed && result != expected) {
+      fail(seed, "parallel-value",
+           plan.describe() + ": got " + std::to_string(result) +
+               ", expected " + std::to_string(expected));
+    }
+  }
+
+  const auto fired = inj.snapshot();
+  if (fired.faults_fired() == 0 && !out.completed) {
+    fail(seed, "parallel-spurious",
+         plan.describe() + ": failed with no fault fired: " + describe(out));
+  }
+  if (!out.completed && out.error_kind != "injected_fault" &&
+      out.error_kind != "deadlock_error") {
+    fail(seed, "parallel-error-class",
+         plan.describe() + ": unexpected " + describe(out));
+  }
+  if (fired.dropped_puts > 0 && out.completed && pipeline) {
+    fail(seed, "parallel-lost-put",
+         plan.describe() + ": pipeline completed despite a dropped put");
+  }
+  check_cleanup(seed, exec_mode::parallel, "parallel-cleanup");
+}
+
+// ---- Resource-cap acceptance: big trace against a capped shadow memory -----
+
+int run_stress(std::uint64_t accesses) {
+  constexpr std::size_t k_locations = 1u << 17;
+  constexpr std::size_t k_shadow_cap = 1u << 20;  // 1 MiB
+  inject::fault_plan plan;
+  plan.fail_alloc_at = 5000;  // injected failure fires before the byte cap
+  inject::fault_injector inj(plan);
+  inject::scoped_injector guard(inj);
+
+  detect::race_detector det(
+      {.max_reports = 8, .max_shadow_bytes = k_shadow_cap});
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  shared_array<int> data(k_locations);
+  rt.run([&data, accesses] {
+    std::uint64_t done = 0;
+    while (done < accesses) {
+      for (std::size_t i = 0; i < k_locations && done < accesses; ++i) {
+        data.write(i, static_cast<int>(i));
+        ++done;
+      }
+    }
+  });
+
+  const auto c = det.counters();
+  std::printf("stress: %llu accesses, %llu locations tracked, "
+              "%llu untracked accesses, degraded=%d, failed allocs=%llu\n",
+              static_cast<unsigned long long>(c.shared_mem_accesses),
+              static_cast<unsigned long long>(c.locations),
+              static_cast<unsigned long long>(c.untracked_accesses),
+              c.degraded ? 1 : 0,
+              static_cast<unsigned long long>(inj.snapshot().failed_allocs));
+  int rc = 0;
+  if (c.shared_mem_accesses != accesses) {
+    std::printf("FAIL stress: counters stopped counting\n");
+    rc = 1;
+  }
+  if (!det.degraded() || !c.degraded) {
+    std::printf("FAIL stress: degradation not reported\n");
+    rc = 1;
+  }
+  if (c.locations >= k_locations) {
+    std::printf("FAIL stress: shadow memory did not stop materializing\n");
+    rc = 1;
+  }
+  if (inj.snapshot().failed_allocs == 0) {
+    std::printf("FAIL stress: injected allocation failure never fired\n");
+    rc = 1;
+  }
+  if (c.races_observed != 0) {
+    std::printf("FAIL stress: race invented on a race-free trace\n");
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::flag_parser flags;
+  flags.define("seeds", "200", "number of fault-plan seeds to soak");
+  flags.define("seed-base", "1", "first seed value");
+  flags.define("watchdog-ms", "600",
+               "parallel deadlock watchdog timeout per wait");
+  flags.define("stress-accesses", "0",
+               "run the shadow-memory cap stress test with N accesses "
+               "instead of the soak");
+  flags.parse(argc, argv);
+
+  const std::uint64_t stress =
+      static_cast<std::uint64_t>(flags.get_int("stress-accesses"));
+  if (stress > 0) return run_stress(stress);
+
+  const std::uint64_t seeds =
+      static_cast<std::uint64_t>(flags.get_int("seeds"));
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(flags.get_int("seed-base"));
+  const auto watchdog_ms =
+      static_cast<std::uint32_t>(flags.get_int("watchdog-ms"));
+
+  for (std::uint64_t s = base; s < base + seeds; ++s) {
+    soak_serial_seed(s);
+    soak_parallel_seed(s, watchdog_ms);
+    if ((s - base + 1) % 50 == 0) {
+      std::printf("... %llu/%llu seeds\n",
+                  static_cast<unsigned long long>(s - base + 1),
+                  static_cast<unsigned long long>(seeds));
+    }
+  }
+  if (g_failures == 0) {
+    std::printf("fault_soak: %llu seeds x {elision, dfs, parallel} passed\n",
+                static_cast<unsigned long long>(seeds));
+    return 0;
+  }
+  std::printf("fault_soak: %d failure(s)\n", g_failures);
+  return 1;
+}
