@@ -13,11 +13,13 @@
 // edges walked per query — the direct cost drivers in Algorithm 10.
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/runtime/runtime.hpp"
 #include "futrace/support/flags.hpp"
+#include "futrace/support/json.hpp"
 #include "futrace/support/table.hpp"
 #include "futrace/support/timer.hpp"
 
@@ -34,8 +36,9 @@ struct run_stats {
 };
 
 template <typename Fn>
-run_stats run_detected(Fn&& program) {
-  detect::race_detector det;
+run_stats run_detected(const detect::race_detector::options& opts,
+                       Fn&& program) {
+  detect::race_detector det(opts);
   runtime rt({.mode = exec_mode::serial_dfs});
   rt.add_observer(&det);
   stopwatch timer;
@@ -122,10 +125,27 @@ void reader_fanout_workload(std::size_t readers, std::size_t rounds) {
 int main(int argc, char** argv) {
   support::flag_parser flags;
   flags.define("tasks", "4000", "tasks in the future chain")
-      .define("accesses", "64", "shared accesses per task");
+      .define("accesses", "64", "shared accesses per task")
+      .define("json", "false", "write machine-readable results")
+      .define("json-out", "BENCH_ablation_ntjoins.json",
+              "path for --json output")
+      .define("no-fastpath", "false",
+              "disable the direct/memo/stamp fast paths");
   flags.parse(argc, argv);
   const auto tasks = static_cast<std::size_t>(flags.get_int("tasks"));
   const auto accesses = static_cast<std::size_t>(flags.get_int("accesses"));
+  detect::race_detector::options opts;
+  opts.enable_fastpath = !flags.get_bool("no-fastpath");
+
+  using support::json;
+  json doc = json::object();
+  doc["bench"] = "ablation_ntjoins";
+  doc["tasks"] = static_cast<std::uint64_t>(tasks);
+  doc["accesses"] = static_cast<std::uint64_t>(accesses);
+  doc["fastpath"] = opts.enable_fastpath;
+  json sweep_nt = json::array();
+  json sweep_hop = json::array();
+  json sweep_readers = json::array();
 
   {
     text_table table({"#NTJoins", "#SharedMem", "Time(ms)",
@@ -134,7 +154,7 @@ int main(int argc, char** argv) {
       // Constant total work: n chained future tasks plus (tasks - n)
       // independent ones.
       const std::size_t chain = n == 0 ? 1 : n;
-      run_stats s = run_detected([&] {
+      run_stats s = run_detected(opts, [&] {
         chain_workload(chain, 1, accesses * tasks / chain);
       });
       table.add_row(
@@ -146,6 +166,16 @@ int main(int argc, char** argv) {
                per_query(s.reach.nt_edges_walked, s.reach.precede_queries), 2),
            text_table::fixed(
                per_query(s.reach.visit_steps, s.reach.precede_queries), 2)});
+      json row = json::object();
+      row["nt_joins"] = s.counters.non_tree_joins;
+      row["shared_mem_accesses"] = s.counters.shared_mem_accesses;
+      row["time_ms"] = s.ms;
+      row["precede_queries"] = s.reach.precede_queries;
+      row["nt_edges_per_query"] =
+          per_query(s.reach.nt_edges_walked, s.reach.precede_queries);
+      row["visit_steps_per_query"] =
+          per_query(s.reach.visit_steps, s.reach.precede_queries);
+      sweep_nt.push_back(row);
     }
     std::printf("(a) Sweep of non-tree join count at constant shared-memory "
                 "traffic (paper §5: NT joins do not dominate)\n\n");
@@ -157,13 +187,21 @@ int main(int argc, char** argv) {
                       "VisitSteps/query"});
     for (const std::size_t hop : {1ul, 2ul, 4ul, 16ul, 64ul, 256ul}) {
       run_stats s = run_detected(
-          [&] { chain_read_back_workload(tasks, hop, accesses); });
+          opts, [&] { chain_read_back_workload(tasks, hop, accesses); });
       table.add_row(
           {std::to_string(hop), text_table::fixed(s.ms, 1),
            text_table::fixed(
                per_query(s.reach.nt_edges_walked, s.reach.precede_queries), 2),
            text_table::fixed(
                per_query(s.reach.visit_steps, s.reach.precede_queries), 2)});
+      json row = json::object();
+      row["hop_distance"] = static_cast<std::uint64_t>(hop);
+      row["time_ms"] = s.ms;
+      row["nt_edges_per_query"] =
+          per_query(s.reach.nt_edges_walked, s.reach.precede_queries);
+      row["visit_steps_per_query"] =
+          per_query(s.reach.visit_steps, s.reach.precede_queries);
+      sweep_hop.push_back(row);
     }
     std::printf("\n(b) Sweep of producer-consumer hop distance (paper §5: "
                 "benchmarks need 1-2 hops; cost grows with distance)\n\n");
@@ -174,17 +212,37 @@ int main(int argc, char** argv) {
     text_table table({"FutureReaders", "#AvgReaders", "Time(ms)",
                       "PrecedeQueries"});
     for (const std::size_t readers : {1ul, 2ul, 4ul, 8ul, 16ul, 32ul}) {
-      run_stats s = run_detected([&] {
+      run_stats s = run_detected(opts, [&] {
         reader_fanout_workload(readers, 3000 / readers);
       });
       table.add_row({std::to_string(readers),
                      text_table::fixed(s.counters.avg_readers, 2),
                      text_table::fixed(s.ms, 1),
                      text_table::with_commas(s.reach.precede_queries)});
+      json row = json::object();
+      row["future_readers"] = static_cast<std::uint64_t>(readers);
+      row["avg_readers"] = s.counters.avg_readers;
+      row["time_ms"] = s.ms;
+      row["precede_queries"] = s.reach.precede_queries;
+      sweep_readers.push_back(row);
     }
     std::printf("\n(c) Sweep of parallel future readers per location (the "
                 "v*(f+1) term of Theorem 1)\n\n");
     std::fputs(table.render().c_str(), stdout);
+  }
+
+  if (flags.get_bool("json")) {
+    doc["sweep_nt_joins"] = sweep_nt;
+    doc["sweep_hop_distance"] = sweep_hop;
+    doc["sweep_future_readers"] = sweep_readers;
+    const std::string path = flags.get_string("json-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    out << doc.dump();
+    std::printf("\nwrote %s\n", path.c_str());
   }
   return 0;
 }

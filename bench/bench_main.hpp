@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file bench_main.hpp
+/// Shared main() for the google-benchmark binaries. Adds one repo-level
+/// convention on top of the stock driver: `--json[=path]` writes the run as
+/// machine-readable JSON (default path BENCH_<binary>.json, consumable by
+/// tools/bench_diff) by expanding to google-benchmark's
+/// --benchmark_out/--benchmark_out_format flags. All other arguments pass
+/// through untouched.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace futrace::bench {
+
+inline int bench_main(int argc, char** argv, const char* default_json_path) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      args.emplace_back(std::string("--benchmark_out=") + default_json_path);
+      args.emplace_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--json=", 0) == 0) {
+      args.emplace_back("--benchmark_out=" + arg.substr(7));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (std::string& a : args) cargs.push_back(a.data());
+  int cargc = static_cast<int>(cargs.size());
+
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace futrace::bench
+
+/// Expands to a main() that honors `--json[=path]` with the given default
+/// output path, e.g. FUTRACE_BENCH_MAIN("BENCH_micro_shadow.json").
+#define FUTRACE_BENCH_MAIN(default_json_path)                            \
+  int main(int argc, char** argv) {                                      \
+    return futrace::bench::bench_main(argc, argv, default_json_path);    \
+  }

@@ -5,6 +5,8 @@
 
 #include <vector>
 
+#include "bench_main.hpp"
+
 #include "futrace/dsr/labels.hpp"
 #include "futrace/dsr/reachability_graph.hpp"
 
@@ -95,10 +97,14 @@ void BM_PrecedeParallelSibling(benchmark::State& state) {
 BENCHMARK(BM_PrecedeParallelSibling);
 
 // PRECEDE across a chain of non-tree joins of the given length: the
-// (n+1)-factor of Theorem 1's query bound.
-void BM_PrecedeNtChain(benchmark::State& state) {
+// (n+1)-factor of Theorem 1's query bound. With `memoized` true the repeated
+// query is answered from the PRECEDE memo table (the hot-loop case every
+// read in a stencil workload hits); with it false every iteration walks the
+// whole chain.
+void precede_nt_chain(benchmark::State& state, bool memoized) {
   const auto hops = static_cast<std::size_t>(state.range(0));
   reachability_graph g;
+  g.set_memo_enabled(memoized);
   const task_id root = g.create_root();
   std::vector<task_id> chain;
   for (std::size_t i = 0; i <= hops; ++i) {
@@ -116,7 +122,15 @@ void BM_PrecedeNtChain(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
 }
+void BM_PrecedeNtChain(benchmark::State& state) {
+  precede_nt_chain(state, /*memoized=*/false);
+}
 BENCHMARK(BM_PrecedeNtChain)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PrecedeNtChainMemoized(benchmark::State& state) {
+  precede_nt_chain(state, /*memoized=*/true);
+}
+BENCHMARK(BM_PrecedeNtChainMemoized)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
 // Union-find pressure: wide finish with path compression afterwards.
 void BM_WideFinishThenQueries(benchmark::State& state) {
@@ -144,4 +158,4 @@ BENCHMARK(BM_WideFinishThenQueries)->Arg(256)->Arg(4096);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FUTRACE_BENCH_MAIN("BENCH_micro_dsr.json");

@@ -5,6 +5,8 @@
 
 #include <atomic>
 
+#include "bench_main.hpp"
+
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/runtime/runtime.hpp"
 #include "futrace/runtime/ws_deque.hpp"
@@ -162,4 +164,4 @@ BENCHMARK(BM_WsDequeStealUncontended);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+FUTRACE_BENCH_MAIN("BENCH_micro_runtime.json");

@@ -6,13 +6,17 @@
 
 #include <vector>
 
+#include "bench_main.hpp"
 #include "futrace/detect/race_detector.hpp"
+#include "futrace/detect/shadow_memory.hpp"
+#include "futrace/runtime/shared_regions.hpp"
 #include "futrace/support/ptr_map.hpp"
 
 namespace {
 
 using futrace::access_site;
 using futrace::detect::race_detector;
+using futrace::detect::shadow_memory;
 using futrace::support::ptr_map;
 
 void BM_PtrMapHit(benchmark::State& state) {
@@ -40,6 +44,38 @@ void BM_PtrMapMiss(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PtrMapMiss);
+
+// Shadow lookup through the hashed ptr_map tier (scalar shared<T> path).
+void BM_ShadowHashedAccess(benchmark::State& state) {
+  shadow_memory shadow;
+  std::vector<int> cells(4096);
+  for (auto& c : cells) shadow.access(&c).writer = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shadow.access(&cells[i]).writer);
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowHashedAccess);
+
+// Same lookup served by a direct-mapped slab (registered shared_array range):
+// one shift+index instead of a hash probe.
+void BM_ShadowDirectAccess(benchmark::State& state) {
+  std::vector<int> cells(4096);
+  futrace::detail::register_shared_region(
+      cells.data(), cells.size() * sizeof(int), sizeof(int));
+  shadow_memory shadow;
+  for (auto& c : cells) shadow.access(&c).writer = 0;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shadow.access(&cells[i]).writer);
+    i = (i + 1) & 4095;
+  }
+  state.SetItemsProcessed(state.iterations());
+  futrace::detail::unregister_shared_region(cells.data());
+}
+BENCHMARK(BM_ShadowDirectAccess);
 
 // Detector driven directly through its observer interface: repeated writes
 // by one task (the same-task fast path every sequential program hits).
@@ -102,6 +138,39 @@ void BM_DetectorWriteOverFutureReaders(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectorWriteOverFutureReaders)->Arg(1)->Arg(4)->Arg(16);
 
+// Reads elided by the per-cell (task, step) stamp: after the first read of
+// each address, subsequent same-step reads skip the PRECEDE machinery.
+void BM_DetectorStampElidedReads(benchmark::State& state) {
+  race_detector det;
+  det.on_program_start(0);
+  int cell = 0;
+  const access_site site{"bench", 1};
+  det.on_write(0, &cell, sizeof(int), site);
+  det.on_read(0, &cell, sizeof(int), site);  // first read sets the stamp
+  for (auto _ : state) {
+    det.on_read(0, &cell, sizeof(int), site);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorStampElidedReads);
+
+// The same loop with fast paths disabled: every read re-runs the full
+// reader-set + PRECEDE check. The gap to BM_DetectorStampElidedReads is the
+// stamp's payoff.
+void BM_DetectorRepeatReadsNoFastpath(benchmark::State& state) {
+  race_detector det({.enable_fastpath = false});
+  det.on_program_start(0);
+  int cell = 0;
+  const access_site site{"bench", 1};
+  det.on_write(0, &cell, sizeof(int), site);
+  det.on_read(0, &cell, sizeof(int), site);
+  for (auto _ : state) {
+    det.on_read(0, &cell, sizeof(int), site);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetectorRepeatReadsNoFastpath);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+FUTRACE_BENCH_MAIN("BENCH_micro_shadow.json");

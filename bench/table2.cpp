@@ -10,6 +10,7 @@
 // --repeats) to grow toward the paper's inputs.
 
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/runtime/runtime.hpp"
 #include "futrace/support/flags.hpp"
+#include "futrace/support/json.hpp"
 #include "futrace/support/stats.hpp"
 #include "futrace/support/table.hpp"
 #include "futrace/support/timer.hpp"
@@ -41,20 +43,49 @@ struct row_result {
   double racedet_ms = 0;
   bool verified = false;
   paper_row paper;
+
+  double slowdown() const { return seq_ms > 0 ? racedet_ms / seq_ms : 0; }
+  // Fast-path hit rates (see DESIGN.md "Performance architecture").
+  double direct_rate() const {
+    const auto tracked = counters.direct_hits + counters.hashed_hits;
+    return tracked ? static_cast<double>(counters.direct_hits) / tracked : 0;
+  }
+  double memo_rate() const {
+    return counters.precede_queries
+               ? static_cast<double>(counters.memo_hits) /
+                     counters.precede_queries
+               : 0;
+  }
+  double stamp_rate() const {
+    return counters.shared_mem_accesses
+               ? static_cast<double>(counters.stamp_hits) /
+                     counters.shared_mem_accesses
+               : 0;
+  }
+};
+
+/// Global bench configuration shared by every row.
+struct bench_config {
+  int repeats = 3;
+  bool fastpath = true;
+  std::size_t shadow_hint = 0;  // 0 = use the per-row workload hint
 };
 
 // Runs one benchmark in both configurations. `make` returns a fresh workload
 // object; workloads are single-use because shadow memory is keyed by the
-// addresses the run touches.
+// addresses the run touches. `workload_hint` is the expected distinct
+// location count, used to pre-size shadow storage unless --shadow-hint
+// overrides it.
 template <typename Make>
-row_result run_row(const std::string& name, Make make, int repeats,
+row_result run_row(const std::string& name, Make make,
+                   const bench_config& cfg, std::size_t workload_hint,
                    paper_row paper) {
   row_result row;
   row.name = name;
   row.paper = paper;
 
   sample_set seq_times;
-  for (int r = 0; r < repeats; ++r) {
+  for (int r = 0; r < cfg.repeats; ++r) {
     auto w = make();
     futrace::runtime rt({.mode = futrace::exec_mode::serial_elision});
     stopwatch timer;
@@ -63,21 +94,58 @@ row_result run_row(const std::string& name, Make make, int repeats,
     if (r == 0) row.verified = w->verify();
   }
 
+  futrace::detect::race_detector::options det_opts;
+  det_opts.enable_fastpath = cfg.fastpath;
+  det_opts.shadow_reserve =
+      cfg.shadow_hint != 0 ? cfg.shadow_hint : workload_hint;
+
   sample_set det_times;
-  for (int r = 0; r < repeats; ++r) {
+  for (int r = 0; r < cfg.repeats; ++r) {
     auto w = make();
-    futrace::detect::race_detector det;
+    futrace::detect::race_detector det(det_opts);
     futrace::runtime rt({.mode = futrace::exec_mode::serial_dfs});
     rt.add_observer(&det);
     stopwatch timer;
     rt.run([&] { (*w)(); });
     det_times.add(timer.elapsed_ms());
     row.verified = row.verified && w->verify() && !det.race_detected();
-    if (r == repeats - 1) row.counters = det.counters();
+    if (r == cfg.repeats - 1) row.counters = det.counters();
   }
 
   row.seq_ms = seq_times.mean();
   row.racedet_ms = det_times.mean();
+  return row;
+}
+
+futrace::support::json row_to_json(const row_result& r) {
+  using futrace::support::json;
+  json row = json::object();
+  row["name"] = r.name;
+  row["verified"] = r.verified;
+  row["seq_ms"] = r.seq_ms;
+  row["racedet_ms"] = r.racedet_ms;
+  row["slowdown"] = r.slowdown();
+  json counters = json::object();
+  const auto& c = r.counters;
+  counters["tasks"] = c.tasks;
+  counters["non_tree_joins"] = c.non_tree_joins;
+  counters["shared_mem_accesses"] = c.shared_mem_accesses;
+  counters["reads"] = c.reads;
+  counters["writes"] = c.writes;
+  counters["locations"] = c.locations;
+  counters["avg_readers"] = c.avg_readers;
+  counters["races_observed"] = c.races_observed;
+  counters["precede_queries"] = c.precede_queries;
+  counters["direct_hits"] = c.direct_hits;
+  counters["hashed_hits"] = c.hashed_hits;
+  counters["memo_hits"] = c.memo_hits;
+  counters["stamp_hits"] = c.stamp_hits;
+  row["counters"] = counters;
+  json rates = json::object();
+  rates["direct_hit_rate"] = r.direct_rate();
+  rates["memo_hit_rate"] = r.memo_rate();
+  rates["stamp_hit_rate"] = r.stamp_rate();
+  row["rates"] = rates;
   return row;
 }
 
@@ -88,11 +156,24 @@ int main(int argc, char** argv) {
   flags.define("scale", "1", "size multiplier toward the paper's inputs")
       .define("repeats", "3", "timed repetitions per configuration")
       .define("rows", "all",
-              "comma-free row filter substring (e.g. 'crypt', 'jacobi')");
+              "comma-free row filter substring (e.g. 'crypt', 'jacobi')")
+      .define("json", "false", "write machine-readable results")
+      .define("json-out", "BENCH_table2.json", "path for --json output")
+      .define("no-fastpath", "false",
+              "disable the direct/memo/stamp fast paths (baseline mode)")
+      .define("shadow-hint", "0",
+              "pre-size shadow storage for this many locations "
+              "(0 = per-row workload estimate)");
   flags.parse(argc, argv);
   const auto scale = static_cast<std::size_t>(flags.get_int("scale"));
-  const int repeats = static_cast<int>(flags.get_int("repeats"));
   const std::string filter = flags.get_string("rows");
+  const bool emit_json = flags.get_bool("json");
+  const std::string json_path = flags.get_string("json-out");
+
+  bench_config cfg;
+  cfg.repeats = static_cast<int>(flags.get_int("repeats"));
+  cfg.fastpath = !flags.get_bool("no-fastpath");
+  cfg.shadow_hint = static_cast<std::size_t>(flags.get_int("shadow-hint"));
 
   using namespace futrace::workloads;
   std::vector<row_result> rows;
@@ -104,6 +185,8 @@ int main(int argc, char** argv) {
   std::size_t pow2_scale = 1;
   while (pow2_scale * 2 <= scale) pow2_scale *= 2;
 
+  // Per-row workload hints: expected distinct shared locations, used to
+  // pre-size shadow storage (see options::shadow_reserve).
   if (want("Series-af")) {
     rows.push_back(run_row(
         "Series-af",
@@ -111,7 +194,7 @@ int main(int argc, char** argv) {
           return std::make_unique<series_workload>(series_config{
               .coefficients = 2000 * scale, .integration_points = 150});
         },
-        repeats, {"999,999", "0", "1.00"}));
+        cfg, 4000 * scale, {"999,999", "0", "1.00"}));
   }
   if (want("Series-future")) {
     rows.push_back(run_row(
@@ -122,7 +205,7 @@ int main(int argc, char** argv) {
                             .integration_points = 150,
                             .use_futures = true});
         },
-        repeats, {"999,999", "0", "1.00"}));
+        cfg, 4000 * scale, {"999,999", "0", "1.00"}));
   }
   if (want("Crypt-af")) {
     rows.push_back(run_row(
@@ -131,7 +214,7 @@ int main(int argc, char** argv) {
           return std::make_unique<crypt_workload>(
               crypt_config{.bytes = 262144 * scale});
         },
-        repeats, {"12,500,000", "0", "7.77"}));
+        cfg, 3 * 262144 * scale, {"12,500,000", "0", "7.77"}));
   }
   if (want("Crypt-future")) {
     rows.push_back(run_row(
@@ -140,39 +223,43 @@ int main(int argc, char** argv) {
           return std::make_unique<crypt_workload>(crypt_config{
               .bytes = 262144 * scale, .use_futures = true});
         },
-        repeats, {"12,500,000", "0", "8.26"}));
+        cfg, 3 * 262144 * scale, {"12,500,000", "0", "8.26"}));
   }
   if (want("Jacobi")) {
+    const std::size_t n = 256 * pow2_scale + 2;
     rows.push_back(run_row(
         "Jacobi",
-        [&] {
-          return std::make_unique<jacobi_workload>(jacobi_config{
-              .n = 256 * pow2_scale + 2, .tile = 32, .iterations = 8});
+        [&, n] {
+          return std::make_unique<jacobi_workload>(
+              jacobi_config{.n = n, .tile = 32, .iterations = 8});
         },
-        repeats, {"8,192", "34,944", "8.05"}));
+        cfg, 2 * n * n, {"8,192", "34,944", "8.05"}));
   }
   if (want("Smith-Waterman")) {
+    const std::size_t dim = 1000 * scale;
     rows.push_back(run_row(
         "Smith-Waterman",
-        [&] {
-          return std::make_unique<sw_workload>(sw_config{
-              .rows = 1000 * scale, .cols = 1000 * scale, .tile = 50});
+        [&, dim] {
+          return std::make_unique<sw_workload>(
+              sw_config{.rows = dim, .cols = dim, .tile = 50});
         },
-        repeats, {"1,608", "4,641", "9.92"}));
+        cfg, (dim + 1) * (dim + 1), {"1,608", "4,641", "9.92"}));
   }
   if (want("Strassen")) {
+    const std::size_t n = 128 * pow2_scale;
     rows.push_back(run_row(
         "Strassen",
-        [&] {
+        [&, n] {
           return std::make_unique<strassen_workload>(
-              strassen_config{.n = 128 * pow2_scale, .cutoff = 32});
+              strassen_config{.n = n, .cutoff = 32});
         },
-        repeats, {"30,811", "33,612", "5.35"}));
+        cfg, 3 * n * n, {"30,811", "33,612", "5.35"}));
   }
 
   text_table table({"Benchmark", "#Tasks", "#NTJoins", "#SharedMem",
                     "#AvgReaders", "Seq(ms)", "Racedet(ms)", "Slowdown",
-                    "PaperSlowdown", "Verified"});
+                    "Direct%", "Memo%", "Stamp%", "PaperSlowdown",
+                    "Verified"});
   for (const row_result& r : rows) {
     table.add_row({r.name, text_table::with_commas(r.counters.tasks),
                    text_table::with_commas(r.counters.non_tree_joins),
@@ -180,18 +267,40 @@ int main(int argc, char** argv) {
                    text_table::fixed(r.counters.avg_readers, 3),
                    text_table::fixed(r.seq_ms, 1),
                    text_table::fixed(r.racedet_ms, 1),
-                   text_table::fixed(r.racedet_ms / r.seq_ms, 2) + "x",
+                   text_table::fixed(r.slowdown(), 2) + "x",
+                   text_table::fixed(100.0 * r.direct_rate(), 1),
+                   text_table::fixed(100.0 * r.memo_rate(), 1),
+                   text_table::fixed(100.0 * r.stamp_rate(), 1),
                    std::string(r.paper.slowdown) + "x",
                    r.verified ? "yes" : "NO"});
   }
   std::printf("Table 2 — determinacy race detection overhead "
-              "(scale=%zu, repeats=%d)\n\n",
-              scale, repeats);
+              "(scale=%zu, repeats=%d, fastpath=%s)\n\n",
+              scale, cfg.repeats, cfg.fastpath ? "on" : "off");
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nPaper rows used JGF Size C / 2048x2048 / 10000x10000 / 1024x1024 "
       "inputs on a 16-core Ivybridge JVM; compare slowdown shape, not "
       "absolute ms.\n");
+
+  if (emit_json) {
+    using futrace::support::json;
+    json doc = json::object();
+    doc["bench"] = "table2";
+    doc["scale"] = static_cast<std::uint64_t>(scale);
+    doc["repeats"] = cfg.repeats;
+    doc["fastpath"] = cfg.fastpath;
+    json row_array = json::array();
+    for (const row_result& r : rows) row_array.push_back(row_to_json(r));
+    doc["rows"] = row_array;
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+      return 1;
+    }
+    out << doc.dump();
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
 
   for (const row_result& r : rows) {
     if (!r.verified) {

@@ -9,6 +9,7 @@
 //     memory against our detector on future-heavy workloads.
 
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "futrace/baselines/esp_bags_detector.hpp"
@@ -16,6 +17,7 @@
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/runtime/runtime.hpp"
 #include "futrace/support/flags.hpp"
+#include "futrace/support/json.hpp"
 #include "futrace/support/table.hpp"
 #include "futrace/support/timer.hpp"
 #include "futrace/workloads/workloads.hpp"
@@ -25,13 +27,14 @@ namespace {
 using futrace::support::stopwatch;
 using futrace::support::text_table;
 
-template <typename Detector, typename Make>
-std::pair<double, std::size_t> time_with(Make make, int repeats) {
+template <typename MakeDet, typename Make>
+std::pair<double, std::size_t> time_with(MakeDet make_det, Make make,
+                                         int repeats) {
   double best = 1e300;
   std::size_t mem = 0;
   for (int r = 0; r < repeats; ++r) {
     auto w = make();
-    Detector det;
+    auto det = make_det();
     futrace::runtime rt({.mode = futrace::exec_mode::serial_dfs});
     rt.add_observer(&det);
     stopwatch timer;
@@ -52,27 +55,49 @@ std::string mib(std::size_t bytes) {
 int main(int argc, char** argv) {
   futrace::support::flag_parser flags;
   flags.define("scale", "1", "size multiplier")
-      .define("repeats", "3", "repetitions (best-of)");
+      .define("repeats", "3", "repetitions (best-of)")
+      .define("json", "false", "write machine-readable results")
+      .define("json-out", "BENCH_vs_baselines.json", "path for --json output")
+      .define("no-fastpath", "false",
+              "disable the direct/memo/stamp fast paths");
   flags.parse(argc, argv);
   const auto scale = static_cast<std::size_t>(flags.get_int("scale"));
   const int repeats = static_cast<int>(flags.get_int("repeats"));
+  futrace::detect::race_detector::options det_opts;
+  det_opts.enable_fastpath = !flags.get_bool("no-fastpath");
 
   using namespace futrace::workloads;
+  using futrace::support::json;
+  json doc = json::object();
+  doc["bench"] = "vs_baselines";
+  doc["scale"] = static_cast<std::uint64_t>(scale);
+  doc["repeats"] = repeats;
+  doc["fastpath"] = det_opts.enable_fastpath;
+  json esp_rows = json::array();
+  json vc_rows = json::array();
 
   // ---- Part 1: ours vs ESP-bags on async-finish programs -------------------
   {
     text_table table({"Benchmark", "This paper (ms)", "ESP-bags (ms)",
                       "Ratio"});
     auto add = [&](const char* name, auto make) {
-      auto [ours, ours_mem] =
-          time_with<futrace::detect::race_detector>(make, repeats);
-      auto [esp, esp_mem] =
-          time_with<futrace::baselines::esp_bags_detector>(make, repeats);
+      auto [ours, ours_mem] = time_with(
+          [&] { return futrace::detect::race_detector(det_opts); }, make,
+          repeats);
+      auto [esp, esp_mem] = time_with(
+          [] { return futrace::baselines::esp_bags_detector(); }, make,
+          repeats);
       (void)ours_mem;
       (void)esp_mem;
       table.add_row({name, text_table::fixed(ours, 1),
                      text_table::fixed(esp, 1),
                      text_table::fixed(ours / esp, 2) + "x"});
+      json row = json::object();
+      row["name"] = name;
+      row["ours_ms"] = ours;
+      row["esp_bags_ms"] = esp;
+      row["ratio"] = esp > 0 ? ours / esp : 0.0;
+      esp_rows.push_back(row);
     };
     add("Series-af", [&] {
       return std::make_unique<series_workload>(series_config{
@@ -101,7 +126,7 @@ int main(int argc, char** argv) {
       for (int r = 0; r < repeats; ++r) {
         {
           auto w = make();
-          futrace::detect::race_detector det;
+          futrace::detect::race_detector det(det_opts);
           futrace::runtime rt({.mode = futrace::exec_mode::serial_dfs});
           rt.add_observer(&det);
           stopwatch timer;
@@ -124,6 +149,14 @@ int main(int argc, char** argv) {
       table.add_row({name, text_table::with_commas(tasks),
                      text_table::fixed(ours_ms, 1), mib(graph_mem),
                      text_table::fixed(vc_ms, 1), mib(clock_mem)});
+      json row = json::object();
+      row["name"] = name;
+      row["tasks"] = tasks;
+      row["ours_ms"] = ours_ms;
+      row["graph_mem_bytes"] = static_cast<std::uint64_t>(graph_mem);
+      row["vector_clock_ms"] = vc_ms;
+      row["clock_mem_bytes"] = static_cast<std::uint64_t>(clock_mem);
+      vc_rows.push_back(row);
     };
     add("Series-future", [&] {
       return std::make_unique<series_workload>(
@@ -149,6 +182,19 @@ int main(int argc, char** argv) {
     std::printf("\nEvery spawn copies the parent's O(#tasks) clock, so clock "
                 "bytes grow quadratically with task count; the reachability "
                 "graph stays O(tasks + non-tree joins).\n");
+  }
+
+  if (flags.get_bool("json")) {
+    doc["esp_bags"] = esp_rows;
+    doc["vector_clock"] = vc_rows;
+    const std::string path = flags.get_string("json-out");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+      return 1;
+    }
+    out << doc.dump();
+    std::printf("\nwrote %s\n", path.c_str());
   }
   return 0;
 }

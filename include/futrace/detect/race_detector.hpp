@@ -48,6 +48,18 @@ struct detector_counters {
   /// detector to stop materializing state; counts above keep counting, but
   /// race reports from that point on are incomplete.
   bool degraded = false;
+
+  // -- fast-path instrumentation (see DESIGN.md "Performance architecture")
+  /// Accesses served by a direct-mapped shared_array slab (no hashing).
+  std::uint64_t direct_hits = 0;
+  /// Accesses served by the hashed ptr_map tier.
+  std::uint64_t hashed_hits = 0;
+  /// PRECEDE queries answered from the reachability memo table.
+  std::uint64_t memo_hits = 0;
+  /// Accesses elided entirely by the per-cell (task, step) stamp.
+  std::uint64_t stamp_hits = 0;
+  /// Total PRECEDE queries issued (denominator for the memo-hit rate).
+  std::uint64_t precede_queries = 0;
 };
 
 /// Thrown by the detector when options::fail_fast is set and the first
@@ -81,6 +93,15 @@ class race_detector final : public execution_observer {
     /// on an injected allocation failure) new locations stop materializing;
     /// already-tracked locations keep full detection.
     std::size_t max_shadow_bytes = 0;
+    /// Enables the hot-path fast paths: direct-mapped array shadow, PRECEDE
+    /// memoization, and per-cell access-stamp elision. Off reproduces the
+    /// unoptimized detector exactly (the --no-fastpath differential mode);
+    /// race verdicts per location are identical either way.
+    bool enable_fastpath = true;
+    /// Expected number of distinct shared locations (the --shadow-hint
+    /// flag / workload hint); pre-sizes the hashed shadow tier to avoid
+    /// rehash storms mid-run. 0 = no hint.
+    std::size_t shadow_reserve = 0;
   };
 
   race_detector();
@@ -121,6 +142,8 @@ class race_detector final : public execution_observer {
     return graph_.stats();
   }
 
+  const shadow_stats& storage_stats() const { return shadow_.stats(); }
+
   /// Approximate detector heap footprint (reachability graph + shadow
   /// memory), for the baseline-comparison benchmark.
   std::size_t memory_bytes() const;
@@ -142,6 +165,19 @@ class race_detector final : public execution_observer {
   void report(const void* addr, race_kind kind, task_id first,
               site_id first_site, task_id second, site_id second_site);
 
+  /// Every observer event that can change the current task or the
+  /// reachability graph advances the step counter; between two events the
+  /// serial depth-first execution stays in one step of one task, which is
+  /// what makes the per-cell stamp elision sound. The stamp stores the low
+  /// 31 bits plus a write-kind bit; if an execution ever exceeds 2^31
+  /// steps the stamp tier shuts off for good rather than risk a stale
+  /// match after wraparound.
+  void bump_step() noexcept {
+    ++step_;
+    if (step_ >= (1ull << 31)) stamp_enabled_ = false;
+    step_low_ = static_cast<std::uint32_t>(step_) & 0x7FFFFFFFu;
+  }
+
   options opts_;
   dsr::reachability_graph graph_;
   shadow_memory shadow_;
@@ -155,6 +191,10 @@ class race_detector final : public execution_observer {
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t promise_puts_ = 0;
+  std::uint64_t step_ = 0;
+  std::uint32_t step_low_ = 0;
+  std::uint64_t stamp_hits_ = 0;
+  bool stamp_enabled_ = true;
   /// Set when the task cap (or an injected node-allocation failure) fires:
   /// tasks past this point have no graph vertex, so every reachability
   /// query — and with it all race checking — stops. Scalar counters and

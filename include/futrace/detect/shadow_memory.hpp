@@ -8,19 +8,36 @@
 ///        reader sufficient) but arbitrarily many future tasks.
 ///
 /// One shadow lookup happens per instrumented access, and big workloads
-/// touch hundreds of megabytes of shadow state, so the cell layout is
-/// compact: 24 bytes, with source positions interned to 4-byte site ids and
-/// one reader stored inline (the paper's #AvgReaders is < 2 everywhere);
-/// additional future readers spill to a heap vector.
+/// touch hundreds of megabytes of shadow state, so storage is two-tier:
+///
+///   - Direct-mapped slabs. A `shared_array<T>` registers its address range
+///     (shared_regions.hpp); accesses inside a registered range resolve to
+///     `slab[(addr - base) >> log2(stride)]` — one bounds check and one
+///     indexed load, no hashing, no probing. Array elements dominate the
+///     paper's workloads (Jacobi, Smith-Waterman, Crypt), so most accesses
+///     take this path.
+///   - A hashed `ptr_map` for everything else: scalar `shared<T>` cells,
+///     unregistered ranges, and ranges whose slab could not be built
+///     (byte cap, allocation failure, non-power-of-two stride, overlap
+///     with an existing slab).
+///
+/// The cell layout stays compact: 32 bytes (two per cache line), with
+/// source positions interned to 4-byte site ids, one reader stored inline
+/// (the paper's #AvgReaders is < 2 everywhere; additional future readers
+/// spill to a heap vector), and an 8-byte access stamp the detector uses to
+/// elide provably-redundant re-checks (race_detector.hpp).
 ///
 /// The detector owns the update rules (Algorithms 8 and 9); this class owns
 /// storage and the counters the paper reports (#SharedMem, #AvgReaders).
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "futrace/runtime/observer.hpp"
+#include "futrace/runtime/shared_regions.hpp"
 #include "futrace/support/alloc_gate.hpp"
 #include "futrace/support/ptr_map.hpp"
 
@@ -38,7 +55,8 @@ class site_table {
   site_id intern(access_site site) {
     if (site.file == last_file_ && site.line == last_line_) return last_id_;
     const std::uint64_t key =
-        (reinterpret_cast<std::uint64_t>(site.file) << 16) ^ site.line;
+        mix(reinterpret_cast<std::uint64_t>(site.file)) ^
+        mix(0x9E3779B97F4A7C15ULL + site.line);
     auto [it, inserted] = index_.try_emplace(
         key, static_cast<site_id>(sites_.size()));
     if (inserted) sites_.push_back(site);
@@ -53,6 +71,17 @@ class site_table {
   }
 
  private:
+  // splitmix64 finalizer. The previous key, (file_ptr << 16) ^ line, threw
+  // away the pointer's high 16 bits and let two files collide whenever
+  // their pointers differed only there (or a line number cancelled the low
+  // pointer bits); mixing each component to full avalanche first makes the
+  // combined key collision-resistant.
+  static std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
   std::vector<access_site> sites_;
   std::unordered_map<std::uint64_t, site_id> index_;
   const char* last_file_ = nullptr;
@@ -65,12 +94,19 @@ struct reader_entry {
   site_id site = 0;
 };
 
-/// 24-byte shadow cell: writer + one inline reader + overflow list.
+/// In shadow_cell::stamp_step: set when the stamped access was a write.
+inline constexpr std::uint32_t k_stamp_write = 0x80000000u;
+
+/// 32-byte shadow cell: writer + one inline reader + overflow list + the
+/// detector's last-access stamp (task and 31-bit step, with k_stamp_write
+/// marking write accesses). Two cells per cache line.
 struct shadow_cell {
   task_id writer = k_invalid_task;
   site_id writer_site = 0;
   reader_entry reader0;
   std::vector<reader_entry>* overflow = nullptr;
+  task_id stamp_task = k_invalid_task;
+  std::uint32_t stamp_step = 0;
 
   std::size_t reader_count() const {
     if (reader0.task == k_invalid_task) return 0;
@@ -95,16 +131,42 @@ struct shadow_cell {
     reader0 = reader_entry{};
   }
 
-  void add_reader(reader_entry e) {
+  /// Records a reader. Returns false — dropping the entry — only when the
+  /// overflow vector is needed and its allocation is refused by the alloc
+  /// gate; the caller must then treat detection results as incomplete.
+  bool add_reader(reader_entry e) {
     if (reader0.task == k_invalid_task) {
       reader0 = e;
-      return;
+      return true;
     }
-    if (!overflow) overflow = new std::vector<reader_entry>();
+    if (!overflow) {
+      if (support::alloc_should_fail(sizeof(std::vector<reader_entry>))) {
+        return false;
+      }
+      overflow = new std::vector<reader_entry>();
+    }
     overflow->push_back(e);
+    return true;
+  }
+
+  /// True once any access touched this cell (Algorithms 8/9 always leave a
+  /// writer or at least one reader behind); lets slabs count distinct
+  /// locations without per-cell occupancy bookkeeping.
+  bool touched() const noexcept {
+    return writer != k_invalid_task || reader0.task != k_invalid_task;
   }
 };
-static_assert(sizeof(shadow_cell) <= 24);
+static_assert(sizeof(shadow_cell) <= 32);
+
+/// Counters for the storage fast path (direct-mapped slabs vs hashing).
+struct shadow_stats {
+  std::uint64_t direct_hits = 0;   // accesses served by a slab
+  std::uint64_t hashed_hits = 0;   // accesses served by the ptr_map
+  std::uint64_t slabs_built = 0;   // registered ranges direct-mapped
+  std::uint64_t slab_fallbacks = 0;   // ranges kept on the hashed path
+  std::uint64_t rejected_overlaps = 0;  // ranges colliding with a live slab
+  std::uint64_t migrated_cells = 0;  // hashed cells moved into a new slab
+};
 
 class shadow_memory {
  public:
@@ -117,14 +179,26 @@ class shadow_memory {
       delete cell.overflow;
       cell.overflow = nullptr;
     });
+    for (direct_range& r : ranges_) {
+      for (shadow_cell& cell : r.cells) {
+        delete cell.overflow;
+        cell.overflow = nullptr;
+      }
+    }
   }
 
   /// Finds or creates the cell for a location, counting the access and the
   /// readers currently stored (the paper's #AvgReaders statistic samples the
   /// reader-set size at every read/write).
   shadow_cell& access(const void* addr) {
-    shadow_cell& cell = cells_[addr];
     ++accesses_;
+    if (shadow_cell* cell = direct_find(addr)) {
+      ++stats_.direct_hits;
+      readers_sampled_ += cell->reader_count();
+      return *cell;
+    }
+    shadow_cell& cell = cells_[addr];
+    ++stats_.hashed_hits;
     readers_sampled_ += cell.reader_count();
     return cell;
   }
@@ -132,26 +206,57 @@ class shadow_memory {
   /// Caps the shadow table's heap footprint; 0 means unlimited. Once the cap
   /// (or an injected allocation failure) is hit, the map degrades: existing
   /// cells keep working, new locations stop materializing, and accesses keep
-  /// being counted.
+  /// being counted. Slab construction also respects the cap, but a refused
+  /// slab is not degradation — the range falls back to the hashed path with
+  /// full fidelity.
   void set_max_bytes(std::size_t bytes) noexcept { max_bytes_ = bytes; }
+
+  /// Enables/disables the direct-mapped slab tier (on by default). The
+  /// detector turns it off in --no-fastpath differential-debugging runs.
+  void set_direct_mapped(bool enabled) noexcept { direct_enabled_ = enabled; }
+
+  /// Pre-sizes the hashed table for `expected_locations` entries (the
+  /// --shadow-hint flag / workload hint), avoiding rehash storms
+  /// mid-benchmark. Silently skipped when it would exceed the byte cap or
+  /// the alloc gate refuses — a hint must never cause degradation.
+  void reserve(std::size_t expected_locations) {
+    std::size_t cap = 16;
+    while (cap < expected_locations * 2) cap <<= 1;
+    const std::size_t bytes = cap * (sizeof(shadow_cell) + sizeof(void*));
+    if (max_bytes_ != 0 && slab_bytes_ + bytes > max_bytes_) return;
+    if (support::alloc_should_fail(bytes)) return;
+    cells_.reserve(expected_locations);
+  }
 
   /// True once an insertion was refused (byte cap or injected allocation
   /// failure). Sticky: detection results are incomplete from that point on.
   bool degraded() const noexcept { return degraded_; }
+
+  /// Marks the shadow state incomplete (used by the detector when a reader
+  /// entry had to be dropped because its overflow allocation was refused).
+  void mark_degraded() noexcept { degraded_ = true; }
 
   /// Resource-capped variant of access(): returns nullptr instead of
   /// materializing a cell when the table cannot (or must not) grow. The
   /// access is counted either way — Table 2 counters survive degradation.
   shadow_cell* try_access(const void* addr) {
     ++accesses_;
+    if (shadow_cell* cell = direct_find(addr)) {
+      ++stats_.direct_hits;
+      readers_sampled_ += cell->reader_count();
+      return cell;
+    }
     if (shadow_cell* cell = cells_.find(addr)) {
+      ++stats_.hashed_hits;
       readers_sampled_ += cell->reader_count();
       return cell;
     }
     if (!degraded_) {
       const bool over_cap =
-          max_bytes_ != 0 && cells_.bytes_after_insert() > max_bytes_;
+          max_bytes_ != 0 &&
+          slab_bytes_ + cells_.bytes_after_insert() > max_bytes_;
       if (!over_cap && !support::alloc_should_fail(sizeof(shadow_cell))) {
+        ++stats_.hashed_hits;
         return &cells_[addr];
       }
       degraded_ = true;
@@ -170,8 +275,17 @@ class shadow_memory {
   /// Accesses whose shadow state was not tracked (degraded mode).
   std::uint64_t skipped_accesses() const noexcept { return skipped_; }
 
-  /// Number of distinct locations touched.
-  std::size_t location_count() const noexcept { return cells_.size(); }
+  /// Number of distinct locations touched. Hashed cells materialize on
+  /// first access; slab cells are pre-allocated, so only touched ones count.
+  std::size_t location_count() const noexcept {
+    std::size_t n = cells_.size();
+    for (const direct_range& r : ranges_) {
+      for (const shadow_cell& cell : r.cells) {
+        if (cell.touched()) ++n;
+      }
+    }
+    return n;
+  }
 
   /// Total read+write accesses observed (the paper's #SharedMem).
   std::uint64_t access_count() const noexcept { return accesses_; }
@@ -191,31 +305,197 @@ class shadow_memory {
     if (n > max_readers_) max_readers_ = n;
   }
 
-  /// Approximate heap footprint: table plus spilled reader vectors.
+  const shadow_stats& stats() const noexcept { return stats_; }
+
+  /// Approximate heap footprint: table, slabs, plus spilled reader vectors.
   std::size_t memory_bytes() const {
-    std::size_t bytes = cells_.table_bytes();
-    cells_.for_each([&bytes](const void*, const shadow_cell& cell) {
+    std::size_t bytes = cells_.table_bytes() + slab_bytes_;
+    const auto count_overflow = [&bytes](const shadow_cell& cell) {
       if (cell.overflow) {
         bytes += sizeof(*cell.overflow) +
                  cell.overflow->capacity() * sizeof(reader_entry);
       }
-    });
+    };
+    cells_.for_each(
+        [&](const void*, const shadow_cell& cell) { count_overflow(cell); });
+    for (const direct_range& r : ranges_) {
+      for (const shadow_cell& cell : r.cells) count_overflow(cell);
+    }
     return bytes;
   }
 
+  /// Calls fn(addr, cell) for every materialized hashed cell and every
+  /// touched slab cell.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    cells_.for_each(std::forward<Fn>(fn));
+    cells_.for_each(fn);
+    for (const direct_range& r : ranges_) {
+      for (std::size_t i = 0; i < r.cells.size(); ++i) {
+        if (r.cells[i].touched()) {
+          fn(reinterpret_cast<const void*>(r.base + (i << r.shift)),
+             r.cells[i]);
+        }
+      }
+    }
   }
 
  private:
+  /// One direct-mapped range: a contiguous slab of cells covering
+  /// [base, end) at 1 << shift bytes per element. Slabs persist for the
+  /// lifetime of the shadow memory even if the underlying shared_array is
+  /// destroyed — same never-forget policy as the hashed table, so address
+  /// reuse keeps its location identity within one execution.
+  struct direct_range {
+    std::uintptr_t base = 0;
+    std::uintptr_t end = 0;
+    std::uint32_t shift = 0;
+    std::vector<shadow_cell> cells;
+  };
+
+  /// The access-path lookup: resync the mirrored region list if the global
+  /// registry changed, then resolve `addr` against the slabs — one
+  /// most-recently-used probe (bulk workloads stream through one array at a
+  /// time), then a binary search over the base-sorted range list. Divide-
+  /// and-conquer workloads (Strassen) keep hundreds of temporary-array
+  /// slabs alive and alternate between them every iteration, so the miss
+  /// path must be logarithmic, not linear.
+  shadow_cell* direct_find(const void* addr) {
+    if (!direct_enabled_) return nullptr;
+    if (region_version_seen_ != detail::shared_region_version())
+        [[unlikely]] {
+      sync_regions();
+    }
+    if (ranges_.empty()) return nullptr;
+    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    direct_range& mru = ranges_[mru_range_];
+    if (a >= mru.base && a < mru.end) {
+      return &mru.cells[(a - mru.base) >> mru.shift];
+    }
+    const auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), a,
+        [](std::uintptr_t key, const direct_range& r) { return key < r.base; });
+    if (it == ranges_.begin()) return nullptr;
+    direct_range& r = *std::prev(it);
+    if (a >= r.end) return nullptr;
+    mru_range_ = static_cast<std::size_t>(std::prev(it) - ranges_.begin());
+    return &r.cells[(a - r.base) >> r.shift];
+  }
+
+  void sync_regions() {
+    const std::uint64_t version = detail::shared_region_version();
+    for (const detail::shared_region& reg : detail::shared_region_snapshot()) {
+      // Seen-set keyed on the full geometry: re-registering an identical
+      // range (address reuse by an identical array) silently reuses its
+      // slab, while a geometry change at the same address goes through
+      // try_build_slab and is rejected to the hashed path, which keeps
+      // per-address location identity exact.
+      const std::uint64_t key = mix64(reg.base) ^ mix64(reg.end + 1) ^
+                                mix64(0x100000000ULL + reg.stride);
+      if (!mirrored_regions_.insert(key).second) continue;
+      try_build_slab(reg);
+    }
+    region_version_seen_ = version;
+  }
+
+  static std::uint64_t mix64(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Builds a slab for a newly registered region, or records why it stays
+  /// on the hashed path. A refused slab is never degradation: the hashed
+  /// tier serves the range with identical fidelity, just slower.
+  void try_build_slab(const detail::shared_region& reg) {
+    // Only power-of-two strides index with a shift.
+    if (reg.stride == 0 || (reg.stride & (reg.stride - 1)) != 0) {
+      ++stats_.slab_fallbacks;
+      return;
+    }
+    for (const direct_range& r : ranges_) {
+      if (reg.base < r.end && r.base < reg.end) {
+        // Overlaps a slab built for an earlier (possibly since-destroyed)
+        // array. Serving two identities from one slab would corrupt cell
+        // state, so the newcomer stays hashed.
+        ++stats_.rejected_overlaps;
+        ++stats_.slab_fallbacks;
+        return;
+      }
+    }
+    std::uint32_t shift = 0;
+    while ((1u << shift) != reg.stride) ++shift;
+    const std::size_t n_cells =
+        static_cast<std::size_t>(reg.end - reg.base) >> shift;
+    const std::size_t bytes = n_cells * sizeof(shadow_cell);
+    if (max_bytes_ != 0 &&
+        slab_bytes_ + bytes + cells_.table_bytes() > max_bytes_) {
+      ++stats_.slab_fallbacks;
+      return;
+    }
+    if (support::alloc_should_fail(bytes)) {
+      ++stats_.slab_fallbacks;
+      return;
+    }
+    direct_range r;
+    r.base = reg.base;
+    r.end = reg.end;
+    r.shift = shift;
+    std::size_t inserted_at = 0;
+    try {
+      r.cells.resize(n_cells);
+      // Keep the list sorted by base so direct_find can binary-search;
+      // overlap rejection above guarantees the order is total.
+      const auto pos = std::upper_bound(
+          ranges_.begin(), ranges_.end(), r.base,
+          [](std::uintptr_t key, const direct_range& existing) {
+            return key < existing.base;
+          });
+      const auto ins = ranges_.insert(pos, std::move(r));
+      inserted_at = static_cast<std::size_t>(ins - ranges_.begin());
+    } catch (...) {
+      ++stats_.slab_fallbacks;
+      return;
+    }
+    mru_range_ = inserted_at;
+    slab_bytes_ += bytes;
+    ++stats_.slabs_built;
+    migrate_into_slab(ranges_[inserted_at]);
+  }
+
+  /// Moves cells the hashed tier already materialized for in-range
+  /// addresses into the new slab, so a range registered after its first
+  /// accesses (e.g. `assign` on a default-constructed array) keeps its
+  /// shadow state.
+  void migrate_into_slab(direct_range& r) {
+    std::vector<const void*> in_range;
+    cells_.for_each([&](const void* addr, shadow_cell&) {
+      const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+      if (a >= r.base && a < r.end) in_range.push_back(addr);
+    });
+    for (const void* addr : in_range) {
+      const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+      // The copied cell takes ownership of the overflow pointer; erase()
+      // resets the vacated slot to a default-constructed cell.
+      r.cells[(a - r.base) >> r.shift] = *cells_.find(addr);
+      cells_.erase(addr);
+      ++stats_.migrated_cells;
+    }
+  }
+
   support::ptr_map<shadow_cell> cells_;
+  std::vector<direct_range> ranges_;
+  std::unordered_set<std::uint64_t> mirrored_regions_;
+  std::size_t mru_range_ = 0;
+  std::uint64_t region_version_seen_ = 0;
+  std::size_t slab_bytes_ = 0;
+  bool direct_enabled_ = true;
   std::uint64_t accesses_ = 0;
   std::uint64_t readers_sampled_ = 0;
   std::uint64_t max_readers_ = 0;
   std::uint64_t skipped_ = 0;
   std::size_t max_bytes_ = 0;  // 0 = unlimited
   bool degraded_ = false;
+  shadow_stats stats_;
 };
 
 }  // namespace futrace::detect

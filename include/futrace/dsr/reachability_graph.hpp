@@ -48,6 +48,8 @@ struct reachability_stats {
   std::uint64_t visit_steps = 0;      // path nodes examined across all queries
   std::uint64_t nt_edges_walked = 0;  // non-tree edges traversed
   std::uint64_t lsa_hops = 0;         // significant-ancestor chain hops
+  std::uint64_t memo_hits = 0;        // PRECEDE answered from the memo table
+  std::uint64_t memo_invalidations = 0;  // epoch bumps (switch/merge/nt-edge)
 };
 
 class reachability_graph {
@@ -92,6 +94,15 @@ class reachability_graph {
   /// writer) returns true. Non-const: advances the query epoch and applies
   /// path compression.
   bool precedes(task_id a, task_id b);
+
+  /// Enables/disables PRECEDE memoization (on by default). Positive
+  /// verdicts are cached per (representative-of-a, querying-task) and
+  /// invalidated by the only events that can change a cached answer's
+  /// meaning: a task switch (the key's b changed), a set union (the
+  /// representative index may now stand for a larger set), or a non-tree
+  /// edge insertion (conservative; new edges only add ordering). Negative
+  /// verdicts are never cached — they can flip as the graph grows.
+  void set_memo_enabled(bool enabled) noexcept { memo_enabled_ = enabled; }
 
   // -- Introspection (tests, benchmarks, DOT dumps) --------------------------
 
@@ -146,6 +157,24 @@ class reachability_graph {
   void merge(task_id ancestor_side, task_id descendant_side);
   bool visit(task_id a, task_id ra, task_id start);
 
+  // -- PRECEDE memo (direct-mapped, positive verdicts only) ------------------
+
+  static constexpr std::size_t k_memo_slots = 1024;  // power of two
+
+  struct memo_entry {
+    task_id rep = k_invalid_task;
+    std::uint64_t epoch = 0;
+  };
+
+  void memo_invalidate() {
+    ++memo_epoch_;
+    ++stats_.memo_invalidations;
+  }
+
+  void memo_store(task_id rep) {
+    memo_[rep & (k_memo_slots - 1)] = memo_entry{rep, memo_epoch_};
+  }
+
   // Union-find parent links live in their own dense array so find() touches
   // 4 bytes per hop instead of a full node (every PRECEDE query starts with
   // one or two finds; this is the hottest pointer chase in the detector).
@@ -155,6 +184,10 @@ class reachability_graph {
   std::uint64_t query_epoch_ = 0;
   std::size_t max_tasks_ = 0;  // 0 = unlimited
   reachability_stats stats_;
+  std::vector<memo_entry> memo_;
+  task_id memo_task_ = k_invalid_task;  // the b the memo is valid for
+  std::uint64_t memo_epoch_ = 1;
+  bool memo_enabled_ = true;
 };
 
 }  // namespace futrace::dsr

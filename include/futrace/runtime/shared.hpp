@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "futrace/runtime/engine.hpp"
+#include "futrace/runtime/shared_regions.hpp"
 
 namespace futrace {
 
@@ -73,13 +74,42 @@ class shared {
 };
 
 /// A fixed-size array of shared elements; each element is its own location.
+///
+/// The element range is registered with the process-global region registry
+/// (shared_regions.hpp) so shadow memory can direct-map it. Like `shared`,
+/// arrays are pinned: copying would fork the location identity of every
+/// element. Moves transfer the registration with the heap buffer.
 template <typename T>
 class shared_array {
  public:
   shared_array() = default;
-  explicit shared_array(std::size_t n, T fill = T{}) : data_(n, fill) {}
+  explicit shared_array(std::size_t n, T fill = T{}) : data_(n, fill) {
+    register_range();
+  }
 
-  void assign(std::size_t n, T fill = T{}) { data_.assign(n, fill); }
+  shared_array(const shared_array&) = delete;
+  shared_array& operator=(const shared_array&) = delete;
+
+  shared_array(shared_array&& other) noexcept
+      : data_(std::move(other.data_)),
+        registered_base_(std::exchange(other.registered_base_, nullptr)) {}
+
+  shared_array& operator=(shared_array&& other) noexcept {
+    if (this != &other) {
+      unregister_range();
+      data_ = std::move(other.data_);
+      registered_base_ = std::exchange(other.registered_base_, nullptr);
+    }
+    return *this;
+  }
+
+  ~shared_array() { unregister_range(); }
+
+  void assign(std::size_t n, T fill = T{}) {
+    unregister_range();
+    data_.assign(n, fill);
+    register_range();
+  }
 
   std::size_t size() const noexcept { return data_.size(); }
 
@@ -103,7 +133,23 @@ class shared_array {
   void poke(std::size_t i, T v) noexcept { data_[i] = std::move(v); }
 
  private:
+  void register_range() {
+    if (data_.empty()) return;
+    if (detail::register_shared_region(data_.data(),
+                                       data_.size() * sizeof(T), sizeof(T))) {
+      registered_base_ = data_.data();
+    }
+  }
+
+  void unregister_range() {
+    if (registered_base_ != nullptr) {
+      detail::unregister_shared_region(registered_base_);
+      registered_base_ = nullptr;
+    }
+  }
+
   std::vector<T> data_;
+  const void* registered_base_ = nullptr;
 };
 
 }  // namespace futrace

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file shared_regions.hpp
+/// Process-global registry of `shared_array` address ranges.
+///
+/// A `shared_array<T>` names a contiguous run of memory locations with a
+/// fixed element stride. Registering that range lets shadow memory serve its
+/// accesses from a direct-mapped slab — `(addr - base) >> log2(stride)` —
+/// instead of hashing every access, which is the dominant cost in the
+/// paper's slowdown numbers (§4.2). The registry is deliberately dumb: a
+/// mutex-guarded vector of live ranges plus a monotonic version counter.
+/// Shadow memory polls the version with one relaxed-ish atomic load per
+/// access and resynchronizes only when it changed, so registration cost is
+/// paid at array construction, never on the access path.
+///
+/// The registry records *live* ranges only. Shadow memory keeps any slab it
+/// already built even after the range is unregistered — the same
+/// never-forget policy the hashed table has for stale addresses, so address
+/// reuse keeps its location identity within one execution.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace futrace::detail {
+
+struct shared_region {
+  std::uintptr_t base = 0;
+  std::uintptr_t end = 0;     // one past the last byte
+  std::uint32_t stride = 0;   // element size in bytes
+
+  bool overlaps(const shared_region& o) const noexcept {
+    return base < o.end && o.base < end;
+  }
+};
+
+/// Bumped (release) on every successful registration or removal; shadow
+/// memory compares it (acquire) against the last version it mirrored.
+inline std::atomic<std::uint64_t> g_shared_region_version{1};
+
+struct shared_region_registry_state {
+  std::mutex mu;
+  std::vector<shared_region> regions;
+};
+
+inline shared_region_registry_state& shared_region_state() {
+  static shared_region_registry_state s;
+  return s;
+}
+
+/// Registers [base, base+bytes) with element size `stride`. Returns false —
+/// and records nothing — when the range is empty, overlaps a live range, or
+/// the registry itself cannot allocate (registration is an optimization
+/// hint; failure must never take the program down).
+inline bool register_shared_region(const void* base, std::size_t bytes,
+                                   std::size_t stride) noexcept {
+  if (base == nullptr || bytes == 0 || stride == 0) return false;
+  shared_region r;
+  r.base = reinterpret_cast<std::uintptr_t>(base);
+  r.end = r.base + bytes;
+  r.stride = static_cast<std::uint32_t>(stride);
+  auto& st = shared_region_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  for (const shared_region& live : st.regions) {
+    if (r.overlaps(live)) return false;
+  }
+  try {
+    st.regions.push_back(r);
+  } catch (...) {
+    return false;
+  }
+  g_shared_region_version.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+/// Removes the live range starting at `base` (no-op if absent).
+inline void unregister_shared_region(const void* base) noexcept {
+  if (base == nullptr) return;
+  const std::uintptr_t b = reinterpret_cast<std::uintptr_t>(base);
+  auto& st = shared_region_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  for (std::size_t i = 0; i < st.regions.size(); ++i) {
+    if (st.regions[i].base == b) {
+      st.regions[i] = st.regions.back();
+      st.regions.pop_back();
+      g_shared_region_version.fetch_add(1, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+inline std::uint64_t shared_region_version() noexcept {
+  return g_shared_region_version.load(std::memory_order_acquire);
+}
+
+inline std::vector<shared_region> shared_region_snapshot() {
+  auto& st = shared_region_state();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.regions;
+}
+
+}  // namespace futrace::detail

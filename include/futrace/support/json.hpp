@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON document model: parse, build, dump. Exists so the bench
+/// harness can emit and `tools/bench_diff` can consume machine-readable
+/// BENCH_*.json files without adding a third-party dependency. Scope is
+/// deliberately small — the JSON this repo produces (nested objects,
+/// arrays, numbers, strings, bools) plus whatever google-benchmark's
+/// --benchmark_out writes. Numbers are stored as double; integral values
+/// round-trip exactly up to 2^53.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace futrace::support {
+
+/// Thrown by json::parse on malformed input; carries the byte offset.
+class json_parse_error : public std::runtime_error {
+ public:
+  json_parse_error(const std::string& what, std::size_t offset)
+      : std::runtime_error(what + " at offset " + std::to_string(offset)),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+class json {
+ public:
+  enum class kind { null, boolean, number, string, array, object };
+
+  // Object members keep insertion order so dumped files diff cleanly.
+  using member = std::pair<std::string, json>;
+
+  json() = default;
+  json(bool b) : kind_(kind::boolean), num_(b ? 1 : 0) {}
+  json(double v) : kind_(kind::number), num_(v) {}
+  json(int v) : kind_(kind::number), num_(v) {}
+  json(std::int64_t v) : kind_(kind::number), num_(static_cast<double>(v)) {}
+  json(std::uint64_t v) : kind_(kind::number), num_(static_cast<double>(v)) {}
+  json(const char* s) : kind_(kind::string), str_(s) {}
+  json(std::string s) : kind_(kind::string), str_(std::move(s)) {}
+
+  static json array() {
+    json j;
+    j.kind_ = kind::array;
+    return j;
+  }
+  static json object() {
+    json j;
+    j.kind_ = kind::object;
+    return j;
+  }
+
+  kind type() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == kind::null; }
+  bool is_number() const noexcept { return kind_ == kind::number; }
+  bool is_string() const noexcept { return kind_ == kind::string; }
+  bool is_bool() const noexcept { return kind_ == kind::boolean; }
+  bool is_array() const noexcept { return kind_ == kind::array; }
+  bool is_object() const noexcept { return kind_ == kind::object; }
+
+  double as_double() const { return num_; }
+  bool as_bool() const { return num_ != 0; }
+  const std::string& as_string() const { return str_; }
+
+  // -- array access ----------------------------------------------------------
+
+  std::size_t size() const noexcept {
+    return kind_ == kind::array ? items_.size()
+                                : (kind_ == kind::object ? members_.size() : 0);
+  }
+  const json& at(std::size_t i) const { return items_.at(i); }
+  void push_back(json v) {
+    kind_ = kind::array;
+    items_.push_back(std::move(v));
+  }
+  const std::vector<json>& items() const noexcept { return items_; }
+
+  // -- object access ---------------------------------------------------------
+
+  /// Finds or creates the member `key` (converts this value to an object).
+  json& operator[](const std::string& key) {
+    kind_ = kind::object;
+    for (member& m : members_) {
+      if (m.first == key) return m.second;
+    }
+    members_.emplace_back(key, json{});
+    return members_.back().second;
+  }
+
+  /// Pointer to the member `key`, or nullptr.
+  const json* find(const std::string& key) const {
+    for (const member& m : members_) {
+      if (m.first == key) return &m.second;
+    }
+    return nullptr;
+  }
+
+  const std::vector<member>& members() const noexcept { return members_; }
+
+  // -- serialization ---------------------------------------------------------
+
+  /// Parses a complete JSON document (throws json_parse_error).
+  static json parse(const std::string& text);
+
+  /// Pretty-prints with `indent` spaces per level (0 = compact one-liner).
+  std::string dump(int indent = 2) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  kind kind_ = kind::null;
+  double num_ = 0;
+  std::string str_;
+  std::vector<json> items_;
+  std::vector<member> members_;
+};
+
+}  // namespace futrace::support

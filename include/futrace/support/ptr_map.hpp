@@ -61,6 +61,46 @@ class ptr_map {
     return const_cast<ptr_map*>(this)->find(key);
   }
 
+  /// Pre-sizes the table so `expected` entries fit without a rehash (the
+  /// 50% load target is preserved). Never shrinks.
+  void reserve(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    if (cap > slots_.size()) rehash(cap);
+  }
+
+  /// Removes `key` if present; returns true iff an entry was removed.
+  /// Backward-shift deletion keeps probe chains intact without tombstones:
+  /// every entry after the hole that could have probed past it slides back.
+  /// Vacated slots are reset to a default-constructed V so values holding
+  /// raw resources (shadow cells' overflow pointers) are not left dangling
+  /// in dead slots.
+  bool erase(const void* key) {
+    const std::uintptr_t k = reinterpret_cast<std::uintptr_t>(key);
+    std::size_t i = index_of(k);
+    while (slots_[i].key != k) {
+      if (slots_[i].key == 0) return false;
+      i = (i + 1) & mask_;
+    }
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask_;
+    while (slots_[j].key != 0) {
+      const std::size_t home = index_of(slots_[j].key);
+      // Entry j may fill the hole iff the hole lies within j's probe
+      // sequence, i.e. cyclic-distance(home → j) covers the hole.
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        slots_[hole].key = slots_[j].key;
+        slots_[hole].value = std::move(slots_[j].value);
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    slots_[hole].key = 0;
+    slots_[hole].value = V{};
+    --size_;
+    return true;
+  }
+
   /// Calls fn(key_as_void_ptr, value&) for every entry.
   template <typename Fn>
   void for_each(Fn&& fn) {
@@ -113,11 +153,15 @@ class ptr_map {
   }
 
   void grow() {
-    std::vector<slot> old = std::move(slots_);
-    slots_.clear();
     // Quadruple while moderate: rehashing is a full zero+copy pass over a
     // table that no longer fits cache, so fewer, bigger growth steps win.
-    slots_.resize(old.size() < (1u << 22) ? old.size() * 4 : old.size() * 2);
+    rehash(slots_.size() < (1u << 22) ? slots_.size() * 4 : slots_.size() * 2);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    std::vector<slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(new_capacity);
     mask_ = slots_.size() - 1;
     size_ = 0;
     for (auto& s : old) {

@@ -34,9 +34,14 @@ race_detector::race_detector(options opts) : opts_(opts) {
   kinds_.reserve(1024);
   graph_.set_max_tasks(opts_.max_tasks);
   shadow_.set_max_bytes(opts_.max_shadow_bytes);
+  graph_.set_memo_enabled(opts_.enable_fastpath);
+  shadow_.set_direct_mapped(opts_.enable_fastpath);
+  stamp_enabled_ = opts_.enable_fastpath;
+  if (opts_.shadow_reserve != 0) shadow_.reserve(opts_.shadow_reserve);
 }
 
 void race_detector::on_program_start(task_id root) {
+  bump_step();
   const dsr::task_id id = graph_.create_root();
   FUTRACE_CHECK_MSG(id == root, "detector and runtime task ids diverged");
   kinds_.push_back(task_kind::root);
@@ -45,6 +50,7 @@ void race_detector::on_program_start(task_id root) {
 
 void race_detector::on_task_spawn(task_id parent, task_id child,
                                   task_kind kind) {
+  bump_step();
   // Per-task bookkeeping survives degradation: counters keep counting.
   kinds_.push_back(kind);
   put_flags_.push_back(0);
@@ -64,11 +70,13 @@ void race_detector::on_task_spawn(task_id parent, task_id child,
 }
 
 void race_detector::on_promise_put(task_id fulfiller) {
+  bump_step();
   ++promise_puts_;
   put_flags_[fulfiller] = 1;
 }
 
 void race_detector::on_task_end(task_id t) {
+  bump_step();
   if (graph_degraded_) return;
   // Algorithm 3: finalize the postorder value.
   graph_.on_terminate(t);
@@ -76,6 +84,7 @@ void race_detector::on_task_end(task_id t) {
 
 void race_detector::on_finish_end(task_id owner,
                                   std::span<const task_id> joined) {
+  bump_step();
   if (graph_degraded_) return;
   // Algorithm 6: every task whose IEF just ended merges into the owner's
   // set (tree joins).
@@ -83,6 +92,7 @@ void race_detector::on_finish_end(task_id owner,
 }
 
 void race_detector::on_get(task_id waiter, task_id target) {
+  bump_step();
   // Algorithm 4: tree join (merge) or non-tree join (predecessor edge).
   ++get_operations_;
   if (graph_degraded_) return;
@@ -103,6 +113,17 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t,
   if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
   shadow_cell& cell = *cell_ptr;
 
+  // Stamp elision: the same task already accessed this cell in this step
+  // (no observer event in between), so every PRECEDE verdict the check
+  // below would compute is unchanged and re-running it cannot alter any
+  // per-location race verdict — a prior access of either kind covers a
+  // re-read. Only duplicate reports of an already-reported pair are elided.
+  if (stamp_enabled_ && cell.stamp_task == t &&
+      (cell.stamp_step & ~k_stamp_write) == step_low_) {
+    ++stamp_hits_;
+    return;
+  }
+
   bool covered = false;
   for (std::size_t i = 0; i < cell.reader_count();) {
     const reader_entry prev = cell.reader_at(i);
@@ -120,8 +141,17 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t,
   }
 
   if (!covered) {
-    cell.add_reader(reader_entry{t, sites_.intern(site)});
-    shadow_.note_reader_count(cell.reader_count());
+    if (cell.add_reader(reader_entry{t, sites_.intern(site)})) {
+      shadow_.note_reader_count(cell.reader_count());
+    } else {
+      // Overflow allocation refused: the reader entry was dropped, so
+      // detection results are incomplete from here on.
+      shadow_.mark_degraded();
+    }
+  }
+  if (stamp_enabled_) {
+    cell.stamp_task = t;
+    cell.stamp_step = step_low_;
   }
 }
 
@@ -137,6 +167,18 @@ void race_detector::on_write(task_id t, const void* addr, std::size_t,
   shadow_cell* cell_ptr = shadow_.try_access(addr);
   if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
   shadow_cell& cell = *cell_ptr;
+
+  // Stamp elision for writes requires the stamped access to have been a
+  // *write*: re-running a write after a write by the same task in the same
+  // step is a no-op (readers were already retired or reported, the writer
+  // field would be rewritten with the same task). After a mere read the
+  // write must still run — it retires readers and takes over the writer
+  // field.
+  if (stamp_enabled_ && cell.stamp_task == t &&
+      cell.stamp_step == (step_low_ | k_stamp_write)) {
+    ++stamp_hits_;
+    return;
+  }
 
   for (std::size_t i = 0; i < cell.reader_count();) {
     const reader_entry prev = cell.reader_at(i);
@@ -156,6 +198,10 @@ void race_detector::on_write(task_id t, const void* addr, std::size_t,
 
   cell.writer = t;
   cell.writer_site = sites_.intern(site);
+  if (stamp_enabled_) {
+    cell.stamp_task = t;
+    cell.stamp_step = step_low_ | k_stamp_write;
+  }
 }
 
 void race_detector::report(const void* addr, race_kind kind, task_id first,
@@ -206,6 +252,12 @@ detector_counters race_detector::counters() const {
   c.racy_locations = racy_locations().size();
   c.untracked_accesses = shadow_.skipped_accesses();
   c.degraded = degraded();
+  const shadow_stats& ss = shadow_.stats();
+  c.direct_hits = ss.direct_hits;
+  c.hashed_hits = ss.hashed_hits;
+  c.memo_hits = gs.memo_hits;
+  c.stamp_hits = stamp_hits_;
+  c.precede_queries = gs.precede_queries;
   return c;
 }
 

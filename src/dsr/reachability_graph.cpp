@@ -9,6 +9,7 @@ namespace futrace::dsr {
 reachability_graph::reachability_graph() {
   nodes_.reserve(1024);
   uf_parent_.reserve(1024);
+  memo_.resize(k_memo_slots);
 }
 
 task_id reachability_graph::create_root() {
@@ -80,6 +81,7 @@ bool reachability_graph::on_get(task_id waiter, task_id target) {
   const task_id rw = find(waiter);
   if (!nodes_[rw].nt.contains(target)) {
     nodes_[rw].nt.push_back(target);
+    memo_invalidate();
   }
   ++stats_.non_tree_joins;
   return false;
@@ -132,6 +134,10 @@ void reachability_graph::merge(task_id ancestor_side, task_id descendant_side) {
   }
   nodes_[winner].label = label;
   nodes_[winner].lsa = lsa;
+  // A memoized verdict is keyed on a representative index; after a union
+  // that index may stand for a strictly larger set, so every cached entry
+  // is suspect.
+  memo_invalidate();
 }
 
 bool reachability_graph::precedes(task_id a, task_id b) {
@@ -142,12 +148,35 @@ bool reachability_graph::precedes(task_id a, task_id b) {
   const task_id ra = find(a);
   const task_id rb = find(b);
   if (ra == rb) return true;
+  if (memo_enabled_) {
+    // Every detector query has b = the currently executing task, so a b
+    // change is exactly a task switch — the lazy form of the switch
+    // invalidation. Positive verdicts are monotone while b keeps running
+    // (reachability only grows and b's current step only advances), which
+    // is what makes caching them sound between invalidations.
+    if (b != memo_task_) {
+      memo_task_ = b;
+      memo_invalidate();
+    }
+    const memo_entry& e = memo_[ra & (k_memo_slots - 1)];
+    if (e.rep == ra && e.epoch == memo_epoch_) {
+      ++stats_.memo_hits;
+      return true;
+    }
+  }
   // Fast path for the commonest positive answer: a's set top is a spawn
   // ancestor of b's set top (e.g. a merged into an ancestor's set through a
   // finish, b is a later task) — no search needed.
-  if (nodes_[ra].label.subsumes(nodes_[rb].label)) return true;
+  if (nodes_[ra].label.subsumes(nodes_[rb].label)) {
+    if (memo_enabled_) memo_store(ra);
+    return true;
+  }
   ++query_epoch_;
-  return visit(a, ra, b);
+  if (visit(a, ra, b)) {
+    if (memo_enabled_) memo_store(ra);
+    return true;
+  }
+  return false;
 }
 
 bool reachability_graph::visit(task_id a, task_id ra, task_id start) {

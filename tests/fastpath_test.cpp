@@ -1,0 +1,234 @@
+// Differential tests for the detector's hot-path fast paths (direct-mapped
+// array shadow, PRECEDE memoization, per-cell stamp elision): with
+// options::enable_fastpath off the detector reproduces the unoptimized
+// algorithms exactly, and the two configurations must agree on every
+// per-location race verdict. This is the --no-fastpath debugging contract.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "futrace/baselines/oracle_detector.hpp"
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/progen/random_program.hpp"
+#include "futrace/runtime/runtime.hpp"
+#include "futrace/runtime/shared.hpp"
+
+namespace futrace {
+namespace {
+
+using progen::progen_config;
+using progen::random_program;
+
+std::set<const void*> racy_set(const detect::race_detector& det) {
+  const auto locations = det.racy_locations();
+  return {locations.begin(), locations.end()};
+}
+
+detect::race_detector::options with_fastpath(bool enabled) {
+  detect::race_detector::options opts;
+  opts.enable_fastpath = enabled;
+  return opts;
+}
+
+/// Runs `body` under a fresh serial_dfs runtime + detector.
+template <typename Body>
+detect::race_detector run_detected(detect::race_detector::options opts,
+                                   Body&& body) {
+  detect::race_detector det(opts);
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run(body);
+  return det;
+}
+
+// ---------------------------------------------------------------- equivalence
+
+// Generated programs, safe and unsafe handle flow, racy and race-free: the
+// fast-path detector and the plain detector must flag exactly the same
+// locations. Counts may differ (the stamp elides duplicate reports of an
+// already-flagged pair); verdicts may not.
+TEST(FastpathDifferential, MatchesPlainDetectorAcrossSeeds) {
+  const progen_config shapes[] = {
+      {},  // balanced defaults
+      {.max_depth = 4,
+       .min_stmts = 2,
+       .max_stmts = 8,
+       .num_vars = 4,
+       .max_tasks = 300,
+       .w_read = 3,
+       .w_write = 2,
+       .w_async = 0.5,
+       .w_future = 2.5,
+       .w_finish = 0.4,
+       .w_get = 3.0},
+      {.max_depth = 3,
+       .min_stmts = 3,
+       .max_stmts = 9,
+       .num_vars = 3,
+       .w_read = 3,
+       .w_write = 2.5,
+       .w_async = 1.2,
+       .w_future = 0.8,
+       .w_finish = 0.8,
+       .w_get = 1.0,
+       .w_promise = 2.0,
+       .w_put = 2.6,
+       .w_promise_get = 2.6},
+  };
+  for (const bool safe : {true, false}) {
+    for (std::size_t s = 0; s < std::size(shapes); ++s) {
+      for (int seed = 1; seed <= 25; ++seed) {
+        progen_config cfg = shapes[s];
+        cfg.safe_handles = safe;
+        cfg.seed = static_cast<std::uint64_t>(seed) * 7919 + s;
+        random_program prog(cfg);
+
+        auto fast = run_detected(with_fastpath(true), [&] { prog(); });
+        auto plain = run_detected(with_fastpath(false), [&] { prog(); });
+
+        EXPECT_EQ(racy_set(fast), racy_set(plain))
+            << "shape=" << s << " safe=" << safe << " seed=" << cfg.seed;
+        EXPECT_EQ(fast.race_detected(), plain.race_detected())
+            << "shape=" << s << " safe=" << safe << " seed=" << cfg.seed;
+        // The structural counters the fast paths must not perturb.
+        const auto cf = fast.counters();
+        const auto cp = plain.counters();
+        EXPECT_EQ(cf.tasks, cp.tasks);
+        EXPECT_EQ(cf.reads, cp.reads);
+        EXPECT_EQ(cf.writes, cp.writes);
+        EXPECT_EQ(cf.non_tree_joins, cp.non_tree_joins);
+        EXPECT_EQ(cf.racy_locations, cp.racy_locations);
+      }
+    }
+  }
+}
+
+// The fast-path detector must still match the step-level oracle (Theorem 2)
+// — a spot check on top of property_test's exhaustive sweep, kept here so a
+// fast-path regression fails in the file that owns the feature.
+TEST(FastpathDifferential, MatchesOracleOnRacyPrograms) {
+  for (int seed = 1; seed <= 20; ++seed) {
+    progen_config cfg;
+    cfg.seed = static_cast<std::uint64_t>(seed) * 104729;
+    random_program prog(cfg);
+
+    detect::race_detector det(with_fastpath(true));
+    baselines::oracle_detector oracle;
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.add_observer(&det);
+    rt.add_observer(&oracle);
+    rt.run([&] { prog(); });
+
+    const auto det_locations = det.racy_locations();
+    const auto oracle_locations = oracle.racy_locations();
+    EXPECT_EQ(std::set<const void*>(det_locations.begin(),
+                                    det_locations.end()),
+              std::set<const void*>(oracle_locations.begin(),
+                                    oracle_locations.end()))
+        << "seed=" << cfg.seed;
+  }
+}
+
+// ------------------------------------------------------------------- counters
+
+// A deliberately fast-path-friendly program: array accesses (direct tier),
+// tight re-access loops with no task events in between (stamp tier), and a
+// non-tree-joined future writer re-checked per element (memo tier). All
+// three tiers must actually engage — hit counters are how the benches prove
+// the optimization is on, so they must not silently read zero.
+TEST(FastpathCounters, AllThreeTiersEngage) {
+  auto det = run_detected(with_fastpath(true), [] {
+    shared_array<int> data(256);
+    // Future chain producing a non-tree join: f2 joins f1 (both children of
+    // the root), so f1 reaches the root's set only through a non-tree edge
+    // and every precedes(f1, root) check takes the memoizable search path.
+    auto f1 = async_future([&] {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data.write(i, static_cast<int>(i));
+      }
+    });
+    auto f2 = async_future([&f1] { f1.get(); });
+    f2.get();
+    int sum = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) sum += data.read(i);
+    // Same task, same step: the second sweep re-reads cells this task just
+    // stamped.
+    for (std::size_t i = 0; i < data.size(); ++i) sum += data.read(i);
+    (void)sum;
+  });
+
+  EXPECT_FALSE(det.race_detected());
+  const auto c = det.counters();
+  EXPECT_GT(c.direct_hits, 0u) << "array accesses must use the slab tier";
+  EXPECT_GT(c.memo_hits, 0u) << "repeated PRECEDE checks must hit the memo";
+  EXPECT_GT(c.stamp_hits, 0u) << "same-task same-step re-reads must be elided";
+  EXPECT_EQ(c.direct_hits + c.hashed_hits, c.shared_mem_accesses);
+}
+
+TEST(FastpathCounters, NoFastpathDisablesAllTiers) {
+  auto program = [] {
+    shared_array<int> data(64);
+    finish([&] {
+      async([&] {
+        for (std::size_t i = 0; i < data.size(); ++i) {
+          data.write(i, static_cast<int>(i));
+        }
+      });
+    });
+    int sum = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) sum += data.read(i);
+    for (std::size_t i = 0; i < data.size(); ++i) sum += data.read(i);
+    (void)sum;
+  };
+  auto det = run_detected(with_fastpath(false), program);
+  const auto c = det.counters();
+  EXPECT_EQ(c.direct_hits, 0u);
+  EXPECT_EQ(c.memo_hits, 0u);
+  EXPECT_EQ(c.stamp_hits, 0u);
+  EXPECT_EQ(c.hashed_hits, c.shared_mem_accesses);
+  EXPECT_FALSE(det.race_detected());
+}
+
+// Racy programs: both configurations must report the same racy locations —
+// including the raced-on array cells served from the direct tier.
+TEST(FastpathDifferential, RacyArrayVerdictsMatch) {
+  auto program = [] {
+    shared_array<int> data(32);
+    // Unjoined future writes race with the root's reads.
+    auto f = async_future([&] {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data.write(i, static_cast<int>(i));
+      }
+    });
+    int sum = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) sum += data.read(i);
+    f.get();
+    (void)sum;
+  };
+  auto fast = run_detected(with_fastpath(true), program);
+  auto plain = run_detected(with_fastpath(false), program);
+  EXPECT_TRUE(fast.race_detected());
+  EXPECT_EQ(racy_set(fast), racy_set(plain));
+  EXPECT_EQ(fast.counters().racy_locations, 32u);
+}
+
+// --shadow-hint plumbing: reserving must not change any result.
+TEST(FastpathCounters, ShadowReserveIsTransparent) {
+  auto program = [] {
+    shared<int> x;
+    x.write(1);
+    (void)x.read();
+  };
+  detect::race_detector::options opts;
+  opts.shadow_reserve = 1 << 14;
+  auto hinted = run_detected(opts, program);
+  auto plain = run_detected(detect::race_detector::options{}, program);
+  EXPECT_EQ(hinted.counters().shared_mem_accesses,
+            plain.counters().shared_mem_accesses);
+  EXPECT_EQ(hinted.race_detected(), plain.race_detected());
+}
+
+}  // namespace
+}  // namespace futrace

@@ -68,8 +68,10 @@ TEST(ShadowCell, RemoveDownToEmpty) {
 }
 
 TEST(ShadowCell, CompactLayout) {
-  EXPECT_LE(sizeof(shadow_cell), 24u)
-      << "cell growth directly scales the dominant cache-miss cost";
+  EXPECT_LE(sizeof(shadow_cell), 32u)
+      << "cell growth directly scales the dominant cache-miss cost; 32 bytes "
+         "= two cells per cache line (24 bytes of race state + the 8-byte "
+         "access stamp that powers the detector's elision fast path)";
 }
 
 // --------------------------------------------------------------- shadow_memory
@@ -159,6 +161,195 @@ TEST(SiteTable, HotLoopCacheDoesNotConfuseSites) {
     EXPECT_EQ(sites.intern(access_site{"f.cpp", 1}), a);
     EXPECT_EQ(sites.intern(access_site{"f.cpp", 2}), b);
   }
+}
+
+// Regression for the key construction bug: (file_ptr << 16) ^ line shifted
+// away the pointer's high 16 bits, so two file pointers differing only
+// there collided at the same line and one site silently aliased the other.
+// The pointers below are fabricated (never dereferenced — the table only
+// stores and compares them) to hit that exact collision.
+TEST(SiteTable, HighPointerBitsDoNotCollide) {
+  site_table sites;
+  const char* f1 = reinterpret_cast<const char*>(0x0001000000001000ULL);
+  const char* f2 = reinterpret_cast<const char*>(0x0002000000001000ULL);
+  const site_id a = sites.intern(access_site{f1, 7});
+  const site_id b = sites.intern(access_site{f2, 7});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sites.resolve(a).file, f1);
+  EXPECT_EQ(sites.resolve(b).file, f2);
+}
+
+TEST(SiteTable, LineXorCancellationDoesNotCollide) {
+  site_table sites;
+  // Under the old key, (p << 16) ^ line let a line number cancel pointer
+  // bits: p and p+1 with lines 10 and 10 ^ 0x10000 produced the same key.
+  const char* f1 = reinterpret_cast<const char*>(0x5000);
+  const char* f2 = reinterpret_cast<const char*>(0x5001);
+  const site_id a = sites.intern(access_site{f1, 10});
+  const site_id b = sites.intern(access_site{f2, 10u ^ 0x10000u});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(sites.resolve(a).line, 10u);
+  EXPECT_EQ(sites.resolve(b).line, 10u ^ 0x10000u);
+}
+
+// -------------------------------------------------------- direct-mapped slabs
+
+namespace {
+
+/// RAII registration of a buffer with the process-global region registry;
+/// tests share one process, so cleanup must be unconditional.
+struct region_guard {
+  region_guard(const void* base, std::size_t bytes, std::size_t stride)
+      : base_(base),
+        ok_(futrace::detail::register_shared_region(base, bytes, stride)) {}
+  ~region_guard() { futrace::detail::unregister_shared_region(base_); }
+  const void* base_;
+  bool ok_;
+};
+
+bool deny_all_allocs(std::size_t) noexcept { return true; }
+bool deny_big_allocs(std::size_t bytes) noexcept { return bytes > 1024; }
+
+struct gate_guard {
+  explicit gate_guard(futrace::support::alloc_gate_fn fn) {
+    futrace::support::alloc_gate().store(fn);
+  }
+  ~gate_guard() { futrace::support::alloc_gate().store(nullptr); }
+};
+
+}  // namespace
+
+TEST(DirectShadow, RegisteredRangeServedFromSlab) {
+  std::vector<int> buf(64);
+  region_guard reg(buf.data(), buf.size() * sizeof(int), sizeof(int));
+  ASSERT_TRUE(reg.ok_);
+
+  shadow_memory shadow;
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    shadow_cell* cell = shadow.try_access(&buf[i]);
+    ASSERT_NE(cell, nullptr);
+    cell->writer = static_cast<task_id>(i);
+  }
+  EXPECT_EQ(shadow.stats().slabs_built, 1u);
+  EXPECT_EQ(shadow.stats().direct_hits, buf.size());
+  EXPECT_EQ(shadow.stats().hashed_hits, 0u);
+  EXPECT_EQ(shadow.location_count(), buf.size());
+  // Re-access resolves to the same cell (state persists).
+  EXPECT_EQ(shadow.try_access(&buf[5])->writer, 5u);
+}
+
+TEST(DirectShadow, ScalarAccessesStayHashed) {
+  std::vector<int> buf(16);
+  region_guard reg(buf.data(), buf.size() * sizeof(int), sizeof(int));
+  ASSERT_TRUE(reg.ok_);
+
+  shadow_memory shadow;
+  int scalar = 0;
+  shadow.try_access(&buf[0])->writer = 1;
+  shadow.try_access(&scalar)->writer = 2;
+  EXPECT_EQ(shadow.stats().direct_hits, 1u);
+  EXPECT_EQ(shadow.stats().hashed_hits, 1u);
+  EXPECT_EQ(shadow.location_count(), 2u);
+}
+
+TEST(DirectShadow, LateRegistrationMigratesHashedCells) {
+  std::vector<int> buf(32);
+  shadow_memory shadow;
+  // Touch two elements before the range is registered: they materialize in
+  // the hashed tier.
+  shadow.try_access(&buf[3])->writer = 33;
+  shadow.try_access(&buf[9])->writer = 99;
+  EXPECT_EQ(shadow.stats().hashed_hits, 2u);
+
+  region_guard reg(buf.data(), buf.size() * sizeof(int), sizeof(int));
+  ASSERT_TRUE(reg.ok_);
+  // The next in-range access builds the slab and migrates existing cells;
+  // their shadow state must survive the move.
+  shadow_cell* cell = shadow.try_access(&buf[3]);
+  EXPECT_EQ(shadow.stats().migrated_cells, 2u);
+  EXPECT_EQ(cell->writer, 33u);
+  EXPECT_EQ(shadow.try_access(&buf[9])->writer, 99u);
+  EXPECT_EQ(shadow.location_count(), 2u);
+}
+
+TEST(DirectShadow, GeometryChangeAtSameAddressIsRejected) {
+  std::vector<double> buf(16);
+  shadow_memory shadow;
+  {
+    region_guard reg(buf.data(), buf.size() * sizeof(double), sizeof(double));
+    ASSERT_TRUE(reg.ok_);
+    shadow.try_access(&buf[0]);
+    EXPECT_EQ(shadow.stats().slabs_built, 1u);
+  }
+  // Same base address, different stride: serving it from the old slab would
+  // merge distinct locations, so the newcomer must stay on the hashed path.
+  region_guard reg2(buf.data(), buf.size() * sizeof(double), 4);
+  ASSERT_TRUE(reg2.ok_);
+  shadow.try_access(&buf[1]);
+  EXPECT_EQ(shadow.stats().rejected_overlaps, 1u);
+  EXPECT_EQ(shadow.stats().slabs_built, 1u);
+}
+
+TEST(DirectShadow, NonPowerOfTwoStrideFallsBack) {
+  struct odd {
+    char bytes[12];
+  };
+  std::vector<odd> buf(8);
+  region_guard reg(buf.data(), buf.size() * sizeof(odd), sizeof(odd));
+  ASSERT_TRUE(reg.ok_);
+
+  shadow_memory shadow;
+  shadow.try_access(&buf[0]);
+  EXPECT_EQ(shadow.stats().slab_fallbacks, 1u);
+  EXPECT_EQ(shadow.stats().slabs_built, 0u);
+  EXPECT_EQ(shadow.stats().hashed_hits, 1u);
+  EXPECT_FALSE(shadow.degraded());
+}
+
+TEST(DirectShadow, ByteCapRefusesSlabWithoutDegrading) {
+  std::vector<int> buf(4096);  // slab would need 4096 * sizeof(shadow_cell)
+  region_guard reg(buf.data(), buf.size() * sizeof(int), sizeof(int));
+  ASSERT_TRUE(reg.ok_);
+
+  shadow_memory shadow;
+  shadow.set_max_bytes(64 * 1024);
+  shadow.try_access(&buf[0]);
+  EXPECT_EQ(shadow.stats().slab_fallbacks, 1u);
+  EXPECT_EQ(shadow.stats().slabs_built, 0u);
+  // A refused slab is a fallback, not degradation: the hashed tier serves
+  // the range with full fidelity until the cap itself is hit.
+  EXPECT_FALSE(shadow.degraded());
+  EXPECT_EQ(shadow.stats().hashed_hits, 1u);
+}
+
+TEST(DirectShadow, AllocGateRefusesSlabWithoutDegrading) {
+  std::vector<int> buf(1024);  // slab allocation > 1 KiB, cells are not
+  region_guard reg(buf.data(), buf.size() * sizeof(int), sizeof(int));
+  ASSERT_TRUE(reg.ok_);
+
+  gate_guard gate(deny_big_allocs);
+  shadow_memory shadow;
+  for (int i = 0; i < 8; ++i) shadow.try_access(&buf[i]);
+  EXPECT_EQ(shadow.stats().slab_fallbacks, 1u);
+  EXPECT_EQ(shadow.stats().direct_hits, 0u);
+  EXPECT_EQ(shadow.stats().hashed_hits, 8u);
+  EXPECT_FALSE(shadow.degraded());
+}
+
+// ------------------------------------------------- reader overflow alloc gate
+
+TEST(ShadowCell, OverflowAllocationRefusalDropsReader) {
+  shadow_cell cell;
+  EXPECT_TRUE(cell.add_reader(reader_entry{1, 0}));  // inline, no allocation
+  {
+    gate_guard gate(deny_all_allocs);
+    EXPECT_FALSE(cell.add_reader(reader_entry{2, 0}));
+    EXPECT_EQ(cell.reader_count(), 1u);
+  }
+  // Gate lifted: the overflow vector can materialize again.
+  EXPECT_TRUE(cell.add_reader(reader_entry{3, 0}));
+  EXPECT_EQ(cell.reader_count(), 2u);
+  delete cell.overflow;
 }
 
 }  // namespace

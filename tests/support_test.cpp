@@ -9,6 +9,7 @@
 
 #include "futrace/support/arena.hpp"
 #include "futrace/support/flags.hpp"
+#include "futrace/support/json.hpp"
 #include "futrace/support/ptr_map.hpp"
 #include "futrace/support/rng.hpp"
 #include "futrace/support/small_vector.hpp"
@@ -351,6 +352,174 @@ TEST(PtrMap, ValueWithHeapStateSurvivesGrowth) {
     ASSERT_EQ(m[&keys[i]].size(), 1u);
     EXPECT_EQ(m[&keys[i]][0], static_cast<int>(i));
   }
+}
+
+TEST(PtrMap, ReserveAvoidsRehash) {
+  ptr_map<int> m(16);
+  m.reserve(10000);
+  const std::size_t bytes_before = m.table_bytes();
+  std::vector<int> storage(10000);
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    m[&storage[i]] = static_cast<int>(i);
+  }
+  EXPECT_EQ(m.table_bytes(), bytes_before)
+      << "reserve() must pre-size the table so inserts never rehash";
+  EXPECT_EQ(m.size(), storage.size());
+}
+
+TEST(PtrMap, ReserveNeverShrinks) {
+  ptr_map<int> m(4096);
+  const std::size_t bytes_before = m.table_bytes();
+  m.reserve(4);
+  EXPECT_EQ(m.table_bytes(), bytes_before);
+}
+
+TEST(PtrMap, EraseRemovesAndReports) {
+  ptr_map<int> m;
+  int dummy[4] = {};
+  m[&dummy[0]] = 10;
+  m[&dummy[2]] = 20;
+  EXPECT_TRUE(m.erase(&dummy[0]));
+  EXPECT_FALSE(m.erase(&dummy[0]));  // already gone
+  EXPECT_FALSE(m.erase(&dummy[1]));  // never present
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.find(&dummy[0]), nullptr);
+  ASSERT_NE(m.find(&dummy[2]), nullptr);
+  EXPECT_EQ(*m.find(&dummy[2]), 20);
+}
+
+TEST(PtrMap, EraseResetsVacatedValue) {
+  // Shadow cells keep a raw overflow pointer; erase() must not leave a
+  // moved-out copy of it behind in a dead slot, or re-inserting the key
+  // would resurrect a dangling pointer.
+  ptr_map<int> m;
+  int x = 0;
+  m[&x] = 42;
+  m.erase(&x);
+  EXPECT_EQ(m[&x], 0) << "re-inserted key must see a fresh value";
+}
+
+TEST(PtrMap, EraseUnderCollisionClusterKeepsProbeChainsIntact) {
+  // Small table, many keys: adjacent addresses force dense probe clusters.
+  // Backward-shift deletion must keep every remaining key findable no
+  // matter which cluster member is removed.
+  ptr_map<std::size_t> m(16);
+  std::vector<int> storage(512);
+  for (std::size_t i = 0; i < storage.size(); ++i) m[&storage[i]] = i;
+  // Erase every third key, checking the survivors after each removal wave.
+  for (std::size_t i = 0; i < storage.size(); i += 3) {
+    EXPECT_TRUE(m.erase(&storage[i]));
+  }
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(m.find(&storage[i]), nullptr);
+    } else {
+      ASSERT_NE(m.find(&storage[i]), nullptr);
+      EXPECT_EQ(*m.find(&storage[i]), i);
+    }
+  }
+  // Erased keys can be re-inserted and found again.
+  for (std::size_t i = 0; i < storage.size(); i += 3) m[&storage[i]] = i * 7;
+  for (std::size_t i = 0; i < storage.size(); i += 3) {
+    ASSERT_NE(m.find(&storage[i]), nullptr);
+    EXPECT_EQ(*m.find(&storage[i]), i * 7);
+  }
+}
+
+TEST(PtrMap, CollisionClusteringStaysBoundedAtTargetLoad) {
+  // At the 50% load target a linear-probe lookup should stay near one
+  // probe; sequential addresses are the worst realistic case because they
+  // share high-entropy-free low bits. This guards the splitmix64 hashing
+  // against regressions to weaker mixers.
+  ptr_map<int> m;
+  std::vector<int> storage(8192);
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    m[&storage[i]] = static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < storage.size(); ++i) {
+    ASSERT_NE(m.find(&storage[i]), nullptr);
+  }
+  // The table doubled/quadrupled past 50% load: bytes stay within 4x of
+  // the minimum power-of-two capacity for this entry count.
+  EXPECT_LE(m.table_bytes(),
+            4 * 2 * storage.size() * (sizeof(void*) + sizeof(int)));
+}
+
+// ------------------------------------------------------------------------ json
+
+TEST(Json, BuildAndDump) {
+  json doc = json::object();
+  doc["name"] = "table2";
+  doc["scale"] = 2;
+  doc["verified"] = true;
+  json rows = json::array();
+  json row = json::object();
+  row["slowdown"] = 1.5;
+  rows.push_back(row);
+  doc["rows"] = rows;
+  const std::string text = doc.dump(0);
+  EXPECT_EQ(text,
+            "{\"name\":\"table2\",\"scale\":2,\"verified\":true,"
+            "\"rows\":[{\"slowdown\":1.5}]}\n");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string text =
+      "{\"a\": [1, 2.5, -3], \"b\": {\"c\": \"x\\ny\", \"d\": null}, "
+      "\"e\": false}";
+  const json doc = json::parse(text);
+  ASSERT_TRUE(doc.is_object());
+  const json* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_EQ(a->at(0).as_double(), 1.0);
+  EXPECT_EQ(a->at(1).as_double(), 2.5);
+  EXPECT_EQ(a->at(2).as_double(), -3.0);
+  const json* c = doc.find("b")->find("c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->as_string(), "x\ny");
+  EXPECT_TRUE(doc.find("b")->find("d")->is_null());
+  EXPECT_FALSE(doc.find("e")->as_bool());
+  // dump → parse → dump is a fixed point.
+  EXPECT_EQ(json::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(Json, IntegersRoundTripExactly) {
+  json doc = json::object();
+  doc["big"] = std::uint64_t{1} << 50;
+  const json back = json::parse(doc.dump());
+  EXPECT_EQ(back.find("big")->as_double(),
+            static_cast<double>(std::uint64_t{1} << 50));
+  EXPECT_NE(doc.dump().find("1125899906842624"), std::string::npos)
+      << "integral values must print without an exponent";
+}
+
+TEST(Json, ParseErrorsCarryOffset) {
+  EXPECT_THROW(json::parse("{\"a\": }"), json_parse_error);
+  EXPECT_THROW(json::parse("[1, 2"), json_parse_error);
+  EXPECT_THROW(json::parse("{} trailing"), json_parse_error);
+  try {
+    json::parse("[tru]");
+    FAIL() << "expected json_parse_error";
+  } catch (const json_parse_error& e) {
+    EXPECT_GT(std::string(e.what()).size(), 0u);
+  }
+}
+
+TEST(Json, ParsesGoogleBenchmarkShape) {
+  // The shape --benchmark_out writes; bench_diff must walk it.
+  const json doc = json::parse(R"({
+    "context": {"date": "2026-08-07T12:00:00", "num_cpus": 8},
+    "benchmarks": [
+      {"name": "BM_PtrMapHit/1024", "real_time": 12.5, "cpu_time": 12.4,
+       "time_unit": "ns", "iterations": 1000000}
+    ]
+  })");
+  const json* benches = doc.find("benchmarks");
+  ASSERT_NE(benches, nullptr);
+  ASSERT_EQ(benches->size(), 1u);
+  EXPECT_EQ(benches->at(0).find("name")->as_string(), "BM_PtrMapHit/1024");
+  EXPECT_EQ(benches->at(0).find("real_time")->as_double(), 12.5);
 }
 
 }  // namespace
