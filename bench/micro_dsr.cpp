@@ -132,6 +132,37 @@ void BM_PrecedeNtChainMemoized(benchmark::State& state) {
 }
 BENCHMARK(BM_PrecedeNtChainMemoized)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
+// Non-tree predecessor fan-in: each consumer get()s `fan` sibling futures,
+// so its set's nt list holds `fan` entries. The Table 2 stencil consumers
+// hold up to 5 (Jacobi: own tile + 4 neighbours; Smith-Waterman: 3;
+// Strassen combine: 4), which sizes small_vector's inline nt capacity —
+// the Arg values cross the inline/heap boundary to expose the allocation
+// cliff if the capacity regresses.
+void BM_PrecedeNtFanIn(benchmark::State& state) {
+  const auto fan = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t k_consumers = 128;
+  std::vector<task_id> producers;
+  producers.reserve(64);
+  for (auto _ : state) {
+    reachability_graph g;
+    const task_id root = g.create_root();
+    for (std::size_t c = 0; c < k_consumers; ++c) {
+      producers.clear();
+      for (std::size_t i = 0; i < fan; ++i) {
+        const task_id p = g.create_task(root);
+        g.on_terminate(p);
+        producers.push_back(p);
+      }
+      const task_id consumer = g.create_task(root);
+      for (const task_id p : producers) g.on_get(consumer, p);
+      benchmark::DoNotOptimize(g.precedes(producers.front(), consumer));
+      g.on_terminate(consumer);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * k_consumers * fan);
+}
+BENCHMARK(BM_PrecedeNtFanIn)->Arg(2)->Arg(5)->Arg(8)->Arg(32);
+
 // Union-find pressure: wide finish with path compression afterwards.
 void BM_WideFinishThenQueries(benchmark::State& state) {
   const auto width = static_cast<std::size_t>(state.range(0));

@@ -62,12 +62,21 @@ struct row_result {
                      counters.shared_mem_accesses
                : 0;
   }
+  // Fraction of element accesses served by the coalesced range walk (or its
+  // O(1) summary tier) instead of per-element dispatch.
+  double range_rate() const {
+    return counters.shared_mem_accesses
+               ? static_cast<double>(counters.range_hits) /
+                     counters.shared_mem_accesses
+               : 0;
+  }
 };
 
 /// Global bench configuration shared by every row.
 struct bench_config {
   int repeats = 3;
   bool fastpath = true;
+  bool ranges = true;
   std::size_t shadow_hint = 0;  // 0 = use the per-row workload hint
 };
 
@@ -96,6 +105,7 @@ row_result run_row(const std::string& name, Make make,
 
   futrace::detect::race_detector::options det_opts;
   det_opts.enable_fastpath = cfg.fastpath;
+  det_opts.enable_range_checks = cfg.ranges;
   det_opts.shadow_reserve =
       cfg.shadow_hint != 0 ? cfg.shadow_hint : workload_hint;
 
@@ -140,11 +150,15 @@ futrace::support::json row_to_json(const row_result& r) {
   counters["hashed_hits"] = c.hashed_hits;
   counters["memo_hits"] = c.memo_hits;
   counters["stamp_hits"] = c.stamp_hits;
+  counters["range_events"] = c.range_events;
+  counters["range_hits"] = c.range_hits;
+  counters["summary_hits"] = c.summary_hits;
   row["counters"] = counters;
   json rates = json::object();
   rates["direct_hit_rate"] = r.direct_rate();
   rates["memo_hit_rate"] = r.memo_rate();
   rates["stamp_hit_rate"] = r.stamp_rate();
+  rates["range_hit_rate"] = r.range_rate();
   row["rates"] = rates;
   return row;
 }
@@ -161,6 +175,8 @@ int main(int argc, char** argv) {
       .define("json-out", "BENCH_table2.json", "path for --json output")
       .define("no-fastpath", "false",
               "disable the direct/memo/stamp fast paths (baseline mode)")
+      .define("no-ranges", "false",
+              "decompose bulk accesses per element (PR 2 scalar path)")
       .define("shadow-hint", "0",
               "pre-size shadow storage for this many locations "
               "(0 = per-row workload estimate)");
@@ -173,6 +189,7 @@ int main(int argc, char** argv) {
   bench_config cfg;
   cfg.repeats = static_cast<int>(flags.get_int("repeats"));
   cfg.fastpath = !flags.get_bool("no-fastpath");
+  cfg.ranges = !flags.get_bool("no-ranges");
   cfg.shadow_hint = static_cast<std::size_t>(flags.get_int("shadow-hint"));
 
   using namespace futrace::workloads;
@@ -258,7 +275,7 @@ int main(int argc, char** argv) {
 
   text_table table({"Benchmark", "#Tasks", "#NTJoins", "#SharedMem",
                     "#AvgReaders", "Seq(ms)", "Racedet(ms)", "Slowdown",
-                    "Direct%", "Memo%", "Stamp%", "PaperSlowdown",
+                    "Direct%", "Memo%", "Stamp%", "Range%", "PaperSlowdown",
                     "Verified"});
   for (const row_result& r : rows) {
     table.add_row({r.name, text_table::with_commas(r.counters.tasks),
@@ -271,12 +288,14 @@ int main(int argc, char** argv) {
                    text_table::fixed(100.0 * r.direct_rate(), 1),
                    text_table::fixed(100.0 * r.memo_rate(), 1),
                    text_table::fixed(100.0 * r.stamp_rate(), 1),
+                   text_table::fixed(100.0 * r.range_rate(), 1),
                    std::string(r.paper.slowdown) + "x",
                    r.verified ? "yes" : "NO"});
   }
   std::printf("Table 2 — determinacy race detection overhead "
-              "(scale=%zu, repeats=%d, fastpath=%s)\n\n",
-              scale, cfg.repeats, cfg.fastpath ? "on" : "off");
+              "(scale=%zu, repeats=%d, fastpath=%s, ranges=%s)\n\n",
+              scale, cfg.repeats, cfg.fastpath ? "on" : "off",
+              cfg.ranges ? "on" : "off");
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nPaper rows used JGF Size C / 2048x2048 / 10000x10000 / 1024x1024 "
@@ -290,6 +309,7 @@ int main(int argc, char** argv) {
     doc["scale"] = static_cast<std::uint64_t>(scale);
     doc["repeats"] = cfg.repeats;
     doc["fastpath"] = cfg.fastpath;
+    doc["ranges"] = cfg.ranges;
     json row_array = json::array();
     for (const row_result& r : rows) row_array.push_back(row_to_json(r));
     doc["rows"] = row_array;

@@ -25,6 +25,12 @@
 
 namespace futrace::detect {
 
+/// Run-local PRECEDE verdict cache used by the range-check engine (defined
+/// in race_detector.cpp). One instance lives for exactly one observer event,
+/// during which the reachability graph cannot change, so both verdict
+/// polarities are cacheable.
+struct precede_cache;
+
 /// The per-execution statistics of Table 2, plus detector internals.
 struct detector_counters {
   std::uint64_t tasks = 0;          // spawned tasks (excludes the root)
@@ -60,6 +66,16 @@ struct detector_counters {
   std::uint64_t stamp_hits = 0;
   /// Total PRECEDE queries issued (denominator for the memo-hit rate).
   std::uint64_t precede_queries = 0;
+  /// Bulk on_read_range/on_write_range events received (counted whether or
+  /// not native range checking served them).
+  std::uint64_t range_events = 0;
+  /// Elements served by the native range engine — one slab resolution plus
+  /// a tight per-cell loop, or an O(1) summary transition — instead of
+  /// per-element decomposition.
+  std::uint64_t range_hits = 0;
+  /// Elements answered by a slab run-summary transition (the O(1) re-sweep
+  /// path; a subset of range_hits).
+  std::uint64_t summary_hits = 0;
 };
 
 /// Thrown by the detector when options::fail_fast is set and the first
@@ -102,6 +118,14 @@ class race_detector final : public execution_observer {
     /// flag / workload hint); pre-sizes the hashed shadow tier to avoid
     /// rehash storms mid-run. 0 = no hint.
     std::size_t shadow_reserve = 0;
+    /// Enables native checking of on_read_range/on_write_range events: one
+    /// slab resolution per run, a tight per-cell loop with a run-local
+    /// PRECEDE cache, and O(1) full-slab run summaries. Off decomposes
+    /// every range event into the per-element path (the --no-ranges
+    /// differential mode); race verdicts per location are identical either
+    /// way. The native path needs the slab tier, so it engages only when
+    /// enable_fastpath is also on.
+    bool enable_range_checks = true;
   };
 
   race_detector();
@@ -118,6 +142,10 @@ class race_detector final : public execution_observer {
                access_site site) override;
   void on_write(task_id t, const void* addr, std::size_t size,
                 access_site site) override;
+  void on_read_range(task_id t, const void* addr, std::size_t count,
+                     std::size_t stride, access_site site) override;
+  void on_write_range(task_id t, const void* addr, std::size_t count,
+                      std::size_t stride, access_site site) override;
 
   // -- results ----------------------------------------------------------------
   bool race_detected() const noexcept { return races_observed_ > 0; }
@@ -165,6 +193,31 @@ class race_detector final : public execution_observer {
   void report(const void* addr, race_kind kind, task_id first,
               site_id first_site, task_id second, site_id second_site);
 
+  /// PRECEDE with the run-local verdict cache (sound for the duration of
+  /// one observer event; see precede_cache).
+  bool ordered(task_id before, task_id after, precede_cache& cache);
+
+  /// The Algorithm 9 read check on one cell (stamp elision included).
+  void check_read_cell(shadow_cell& cell, task_id t, site_id sid,
+                       const void* addr, precede_cache& cache);
+
+  /// The Algorithm 8 write check on one cell. Returns true iff the cell is
+  /// known to have left the check in the uniform state {writer = t, no
+  /// readers} with the full check actually run (stamp-elided cells return
+  /// false — elision can hide earlier reader state). A full-slab write walk
+  /// that is uniform everywhere collapses into a run summary.
+  bool check_write_cell(shadow_cell& cell, task_id t, site_id sid,
+                        const void* addr, precede_cache& cache);
+
+  /// O(1) summary transitions for a full-slab range access. Return false —
+  /// mutating nothing the per-cell walk would not also do — when the access
+  /// diverges from what one uniform interval can represent (a race, or a
+  /// second concurrent reader); the caller then materializes and walks.
+  bool try_summary_read(shadow_memory::direct_range& slab, task_id t,
+                        site_id sid, std::size_t count);
+  bool try_summary_write(shadow_memory::direct_range& slab, task_id t,
+                         site_id sid, std::size_t count);
+
   /// Every observer event that can change the current task or the
   /// reachability graph advances the step counter; between two events the
   /// serial depth-first execution stays in one step of one task, which is
@@ -194,7 +247,11 @@ class race_detector final : public execution_observer {
   std::uint64_t step_ = 0;
   std::uint32_t step_low_ = 0;
   std::uint64_t stamp_hits_ = 0;
+  std::uint64_t range_events_ = 0;
+  std::uint64_t range_hits_ = 0;
+  std::uint64_t summary_hits_ = 0;
   bool stamp_enabled_ = true;
+  bool range_enabled_ = true;
   /// Set when the task cap (or an injected node-allocation failure) fires:
   /// tasks past this point have no graph vertex, so every reachability
   /// query — and with it all race checking — stops. Scalar counters and

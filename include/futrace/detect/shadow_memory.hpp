@@ -166,10 +166,64 @@ struct shadow_stats {
   std::uint64_t slab_fallbacks = 0;   // ranges kept on the hashed path
   std::uint64_t rejected_overlaps = 0;  // ranges colliding with a live slab
   std::uint64_t migrated_cells = 0;  // hashed cells moved into a new slab
+  std::uint64_t summaries_established = 0;  // full-slab runs collapsed
+  std::uint64_t summary_materializations = 0;  // summaries expanded back
 };
 
 class shadow_memory {
  public:
+  /// Uniform-interval summary of a whole slab: when valid, *every* cell of
+  /// the slab logically holds this state (writer, at most one reader, and
+  /// the detector's last-access stamp) and the per-cell array is stale. A
+  /// summary is established by the detector after a full-slab range write
+  /// that reported no race — the one walk that provably leaves all cells
+  /// identical — and is maintained in O(1) by later full-slab range
+  /// accesses. Any scalar access, partial range, race, or state the single
+  /// reader slot cannot hold triggers materialize(), copying the summary
+  /// back into every cell before per-cell checking resumes, so the set of
+  /// reported races is exactly that of per-element checking.
+  struct run_summary {
+    bool valid = false;
+    task_id writer = k_invalid_task;
+    site_id writer_site = 0;
+    reader_entry reader;
+    task_id stamp_task = k_invalid_task;
+    std::uint32_t stamp_step = 0;
+  };
+
+  /// One direct-mapped range: a contiguous slab of cells covering
+  /// [base, end) at 1 << shift bytes per element. Slabs persist for the
+  /// lifetime of the shadow memory even if the underlying shared_array is
+  /// destroyed — same never-forget policy as the hashed table, so address
+  /// reuse keeps its location identity within one execution.
+  struct direct_range {
+    std::uintptr_t base = 0;
+    std::uintptr_t end = 0;
+    std::uint32_t shift = 0;
+    std::vector<shadow_cell> cells;
+    run_summary summary;
+  };
+
+  /// A resolved range access: `count` consecutive cells starting at `first`
+  /// inside `slab`. `first == nullptr` means the range could not be served
+  /// natively (hashed tier, stride mismatch, misalignment, or spilling past
+  /// the slab) and the caller must decompose to per-element accesses.
+  struct slab_run {
+    shadow_cell* first = nullptr;
+    direct_range* slab = nullptr;
+    bool full = false;  // the run covers every cell of the slab
+  };
+
+  /// A scalar access decomposed against the registered element geometry:
+  /// the access [addr, addr+size) overlaps `count` elements of `stride`
+  /// bytes, the first starting at `first` (element-aligned). count == 1
+  /// for the common case of an access no larger than its element.
+  struct access_span {
+    const void* first = nullptr;
+    std::size_t count = 1;
+    std::size_t stride = 0;
+  };
+
   shadow_memory() = default;
   shadow_memory(shadow_memory&&) noexcept = default;
   shadow_memory& operator=(shadow_memory&&) noexcept = default;
@@ -272,6 +326,106 @@ class shadow_memory {
     ++skipped_;
   }
 
+  /// Bulk count_only: `count` untracked accesses in one call.
+  void count_only_n(std::size_t count) noexcept {
+    accesses_ += count;
+    skipped_ += count;
+  }
+
+  /// Counts `count` slab-served accesses in one call (the range engine's
+  /// tight loop and the summary fast path both resolve the slab once but
+  /// must keep #SharedMem and the tier counters element-exact).
+  void note_range_direct(std::size_t count) noexcept {
+    accesses_ += count;
+    stats_.direct_hits += count;
+  }
+
+  /// Adds `n` to the #AvgReaders sample sum (range paths sample readers in
+  /// bulk instead of once per access()).
+  void add_reader_samples(std::uint64_t n) noexcept { readers_sampled_ += n; }
+
+  /// Resolves a range access of `count` elements of `stride` bytes starting
+  /// at `addr` against the slab tier. Succeeds only when the whole run lives
+  /// in one slab, element-aligned, with stride equal to the slab's: then the
+  /// caller can walk `count` consecutive cells from `first` with no further
+  /// lookups. Does NOT materialize a pending summary — the caller decides
+  /// between the O(1) summary transition and materialize-then-walk.
+  slab_run find_run(const void* addr, std::size_t count, std::size_t stride) {
+    if (!direct_enabled_) return {};
+    sync_if_stale();
+    if (ranges_.empty()) return {};
+    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    direct_range* r = find_slab(a);
+    if (r == nullptr) return {};
+    if (stride != (std::size_t{1} << r->shift)) return {};
+    if (((a - r->base) & (stride - 1)) != 0) return {};
+    if (count > ((r->end - a) >> r->shift)) return {};
+    const std::size_t idx = static_cast<std::size_t>((a - r->base) >> r->shift);
+    return slab_run{&r->cells[idx], r, idx == 0 && count == r->cells.size()};
+  }
+
+  /// Collapses a slab to the given uniform state (detector calls this after
+  /// a race-free full-slab write walk).
+  void establish_summary(direct_range& r, const run_summary& s) {
+    r.summary = s;
+    r.summary.valid = true;
+    ++stats_.summaries_established;
+  }
+
+  /// Expands a slab summary back into per-cell state: every cell takes the
+  /// uniform writer/reader/stamp; spilled reader vectors are cleared but
+  /// keep their allocation. No allocation happens here, so materialization
+  /// can never degrade the shadow state.
+  void materialize(direct_range& r) noexcept {
+    const run_summary s = r.summary;
+    r.summary = run_summary{};
+    for (shadow_cell& cell : r.cells) {
+      cell.writer = s.writer;
+      cell.writer_site = s.writer_site;
+      cell.reader0 = s.reader;
+      if (cell.overflow) cell.overflow->clear();
+      cell.stamp_task = s.stamp_task;
+      cell.stamp_step = s.stamp_step;
+    }
+    ++stats_.summary_materializations;
+  }
+
+  /// Decomposes a scalar access of `size` bytes at `addr` against the
+  /// registered element geometry (the live region list, independent of
+  /// whether slabs are enabled). An access no larger than the smallest
+  /// registered element — the overwhelmingly common case — returns
+  /// {addr, 1} after one version check; an access that straddles element
+  /// boundaries returns the aligned run of every element it overlaps, so
+  /// the detector checks each underlying location instead of only the
+  /// first (mixed-size under-checking fix).
+  access_span span_of(const void* addr, std::size_t size) {
+    sync_if_stale();
+    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    // Fast bail for the common aligned scalar: when every live region has a
+    // power-of-two stride and a stride-aligned base, element boundaries are
+    // `size`-aligned for any power-of-two size <= the minimum stride, so a
+    // size-aligned access cannot cross one.
+    if (geoms_aligned_ && size <= min_geom_stride_ &&
+        (size & (size - 1)) == 0 && (a & (size - 1)) == 0) {
+      return access_span{addr, 1, size};
+    }
+    const auto it = std::upper_bound(
+        geoms_.begin(), geoms_.end(), a,
+        [](std::uintptr_t key, const detail::shared_region& g) {
+          return key < g.base;
+        });
+    if (it == geoms_.begin()) return access_span{addr, 1, size};
+    const detail::shared_region& g = *std::prev(it);
+    if (a >= g.end) return access_span{addr, 1, size};
+    const std::uintptr_t first = g.base + (a - g.base) / g.stride * g.stride;
+    const std::uintptr_t last = std::min<std::uintptr_t>(a + size, g.end);
+    const std::size_t count =
+        static_cast<std::size_t>((last - first + g.stride - 1) / g.stride);
+    // count == 1 still canonicalizes `first` to the element base, so the
+    // hashed and slab tiers key sub-element accesses to the same location.
+    return access_span{reinterpret_cast<const void*>(first), count, g.stride};
+  }
+
   /// Accesses whose shadow state was not tracked (degraded mode).
   std::uint64_t skipped_accesses() const noexcept { return skipped_; }
 
@@ -325,11 +479,24 @@ class shadow_memory {
   }
 
   /// Calls fn(addr, cell) for every materialized hashed cell and every
-  /// touched slab cell.
+  /// touched slab cell. A summarized slab presents its uniform state for
+  /// every cell (the per-cell array is stale while a summary is pending).
   template <typename Fn>
   void for_each(Fn&& fn) const {
     cells_.for_each(fn);
     for (const direct_range& r : ranges_) {
+      if (r.summary.valid) {
+        shadow_cell synth;
+        synth.writer = r.summary.writer;
+        synth.writer_site = r.summary.writer_site;
+        synth.reader0 = r.summary.reader;
+        synth.stamp_task = r.summary.stamp_task;
+        synth.stamp_step = r.summary.stamp_step;
+        for (std::size_t i = 0; i < r.cells.size(); ++i) {
+          fn(reinterpret_cast<const void*>(r.base + (i << r.shift)), synth);
+        }
+        continue;
+      }
       for (std::size_t i = 0; i < r.cells.size(); ++i) {
         if (r.cells[i].touched()) {
           fn(reinterpret_cast<const void*>(r.base + (i << r.shift)),
@@ -340,37 +507,22 @@ class shadow_memory {
   }
 
  private:
-  /// One direct-mapped range: a contiguous slab of cells covering
-  /// [base, end) at 1 << shift bytes per element. Slabs persist for the
-  /// lifetime of the shadow memory even if the underlying shared_array is
-  /// destroyed — same never-forget policy as the hashed table, so address
-  /// reuse keeps its location identity within one execution.
-  struct direct_range {
-    std::uintptr_t base = 0;
-    std::uintptr_t end = 0;
-    std::uint32_t shift = 0;
-    std::vector<shadow_cell> cells;
-  };
-
-  /// The access-path lookup: resync the mirrored region list if the global
-  /// registry changed, then resolve `addr` against the slabs — one
-  /// most-recently-used probe (bulk workloads stream through one array at a
-  /// time), then a binary search over the base-sorted range list. Divide-
-  /// and-conquer workloads (Strassen) keep hundreds of temporary-array
-  /// slabs alive and alternate between them every iteration, so the miss
-  /// path must be logarithmic, not linear.
-  shadow_cell* direct_find(const void* addr) {
-    if (!direct_enabled_) return nullptr;
+  void sync_if_stale() {
     if (region_version_seen_ != detail::shared_region_version())
         [[unlikely]] {
       sync_regions();
     }
-    if (ranges_.empty()) return nullptr;
-    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+  }
+
+  /// Resolves `addr` to its slab — one most-recently-used probe (bulk
+  /// workloads stream through one array at a time), then a binary search
+  /// over the base-sorted range list. Divide-and-conquer workloads
+  /// (Strassen) keep hundreds of temporary-array slabs alive and alternate
+  /// between them every iteration, so the miss path must be logarithmic,
+  /// not linear. Callers have already synced and checked ranges_ nonempty.
+  direct_range* find_slab(std::uintptr_t a) {
     direct_range& mru = ranges_[mru_range_];
-    if (a >= mru.base && a < mru.end) {
-      return &mru.cells[(a - mru.base) >> mru.shift];
-    }
+    if (a >= mru.base && a < mru.end) return &mru;
     const auto it = std::upper_bound(
         ranges_.begin(), ranges_.end(), a,
         [](std::uintptr_t key, const direct_range& r) { return key < r.base; });
@@ -378,12 +530,28 @@ class shadow_memory {
     direct_range& r = *std::prev(it);
     if (a >= r.end) return nullptr;
     mru_range_ = static_cast<std::size_t>(std::prev(it) - ranges_.begin());
-    return &r.cells[(a - r.base) >> r.shift];
+    return &r;
+  }
+
+  /// The scalar access-path lookup. A pending run summary materializes
+  /// here: a scalar access into a summarized slab is exactly the
+  /// "divergence" the summary cannot represent.
+  shadow_cell* direct_find(const void* addr) {
+    if (!direct_enabled_) return nullptr;
+    sync_if_stale();
+    if (ranges_.empty()) return nullptr;
+    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    direct_range* r = find_slab(a);
+    if (r == nullptr) return nullptr;
+    if (r->summary.valid) [[unlikely]] materialize(*r);
+    return &r->cells[(a - r->base) >> r->shift];
   }
 
   void sync_regions() {
     const std::uint64_t version = detail::shared_region_version();
-    for (const detail::shared_region& reg : detail::shared_region_snapshot()) {
+    const std::vector<detail::shared_region> snapshot =
+        detail::shared_region_snapshot();
+    for (const detail::shared_region& reg : snapshot) {
       // Seen-set keyed on the full geometry: re-registering an identical
       // range (address reuse by an identical array) silently reuses its
       // slab, while a geometry change at the same address goes through
@@ -392,7 +560,23 @@ class shadow_memory {
       const std::uint64_t key = mix64(reg.base) ^ mix64(reg.end + 1) ^
                                 mix64(0x100000000ULL + reg.stride);
       if (!mirrored_regions_.insert(key).second) continue;
-      try_build_slab(reg);
+      if (direct_enabled_) try_build_slab(reg);
+    }
+    // Element-geometry mirror for span_of(): the *live* regions only —
+    // decomposition follows the current registration, while slabs keep
+    // their never-forget policy above.
+    geoms_ = snapshot;
+    std::sort(geoms_.begin(), geoms_.end(),
+              [](const detail::shared_region& x, const detail::shared_region& y) {
+                return x.base < y.base;
+              });
+    min_geom_stride_ = static_cast<std::size_t>(-1);
+    geoms_aligned_ = true;
+    for (const detail::shared_region& g : geoms_) {
+      if (g.stride < min_geom_stride_) min_geom_stride_ = g.stride;
+      geoms_aligned_ = geoms_aligned_ && g.stride != 0 &&
+                       (g.stride & (g.stride - 1)) == 0 &&
+                       (g.base & (g.stride - 1)) == 0;
     }
     region_version_seen_ = version;
   }
@@ -484,6 +668,9 @@ class shadow_memory {
 
   support::ptr_map<shadow_cell> cells_;
   std::vector<direct_range> ranges_;
+  std::vector<detail::shared_region> geoms_;  // live regions, base-sorted
+  std::size_t min_geom_stride_ = static_cast<std::size_t>(-1);
+  bool geoms_aligned_ = true;  // all strides pow2, all bases stride-aligned
   std::unordered_set<std::uint64_t> mirrored_regions_;
   std::size_t mru_range_ = 0;
   std::uint64_t region_version_seen_ = 0;

@@ -145,7 +145,12 @@ class reachability_graph {
 
     // Set metadata; authoritative only at the representative.
     interval_label label;
-    support::small_vector<task_id, 2> nt;  // non-tree predecessors
+    // Non-tree predecessors. Inline capacity sized from the Table 2
+    // workload profile: stencil consumers hold up to 5 (Jacobi tile joins
+    // its own tile + 4 neighbours, Smith-Waterman 3, Strassen combine 4),
+    // and set merges concatenate two such lists transiently; 6 keeps the
+    // common fan-ins off the heap (see bench/micro_dsr BM_PrecedeNtFanIn).
+    support::small_vector<task_id, 6> nt;
     task_id lsa = k_invalid_task;
 
     // Query epoch stamps (avoid revisits inside one PRECEDE call).

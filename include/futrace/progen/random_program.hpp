@@ -50,6 +50,8 @@ struct progen_config {
   // Relative action weights inside a body.
   double w_read = 4.0;
   double w_write = 3.0;
+  double w_range_read = 1.2;   // bulk read of a contiguous var interval
+  double w_range_write = 0.9;  // bulk write of a contiguous var interval
   double w_async = 1.2;
   double w_future = 1.4;
   double w_finish = 0.8;
@@ -58,12 +60,16 @@ struct progen_config {
   double w_put = 0.9;          // fulfill a visible unfulfilled promise
   double w_promise_get = 0.9;  // join a visible fulfilled promise
 
+  int max_range_len = 4;  // longest generated interval (clamped to num_vars)
+
   bool safe_handles = true;  // see file comment; promises always flow safely
 };
 
 struct progen_stats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
+  std::uint64_t range_reads = 0;
+  std::uint64_t range_writes = 0;
   std::uint64_t gets = 0;
   std::uint64_t asyncs = 0;
   std::uint64_t futures = 0;

@@ -125,6 +125,21 @@ class engine {
   virtual void note_write(const void* addr, std::size_t size,
                           access_site site) = 0;
 
+  /// Bulk variants fired by shared_array range accessors: `count` elements
+  /// of `stride` bytes starting at `addr`. The default decomposes to the
+  /// per-element notes; the serial DFS engine overrides to forward one bulk
+  /// event to observers instead.
+  virtual void note_read_range(const void* addr, std::size_t count,
+                               std::size_t stride, access_site site) {
+    const char* p = static_cast<const char*>(addr);
+    for (std::size_t i = 0; i < count; ++i) note_read(p + i * stride, stride, site);
+  }
+  virtual void note_write_range(const void* addr, std::size_t count,
+                                std::size_t stride, access_site site) {
+    const char* p = static_cast<const char*>(addr);
+    for (std::size_t i = 0; i < count; ++i) note_write(p + i * stride, stride, site);
+  }
+
   virtual task_id current_task() const = 0;
 
   /// Total tasks spawned (including the root), where tracked.

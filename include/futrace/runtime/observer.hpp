@@ -99,6 +99,30 @@ class execution_observer {
     (void)site;
   }
 
+  /// Task `t` read `count` consecutive elements of `stride` bytes starting
+  /// at `addr` (a `shared_array` range accessor). Semantically identical to
+  /// `count` per-element on_read calls at the same step — the default
+  /// implementation performs exactly that decomposition, so observers that
+  /// never override the bulk events (graph recorder, baseline detectors,
+  /// fault hooks) see an unchanged per-element stream.
+  virtual void on_read_range(task_id t, const void* addr, std::size_t count,
+                             std::size_t stride, access_site site) {
+    const char* p = static_cast<const char*>(addr);
+    for (std::size_t i = 0; i < count; ++i) {
+      on_read(t, p + i * stride, stride, site);
+    }
+  }
+
+  /// Task `t` wrote `count` consecutive elements of `stride` bytes starting
+  /// at `addr`. Default: per-element decomposition, as with on_read_range.
+  virtual void on_write_range(task_id t, const void* addr, std::size_t count,
+                              std::size_t stride, access_site site) {
+    const char* p = static_cast<const char*>(addr);
+    for (std::size_t i = 0; i < count; ++i) {
+      on_write(t, p + i * stride, stride, site);
+    }
+  }
+
   /// The root task's implicit finish ended and the program is complete.
   virtual void on_program_end() {}
 };

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <source_location>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -38,6 +39,26 @@ inline void instrument_write(const void* addr, std::size_t size,
   if (c.instrument) [[unlikely]] {
     c.eng->note_write(addr, size,
                       access_site{loc.file_name(), loc.line()});
+  }
+}
+
+inline void instrument_read_range(const void* addr, std::size_t count,
+                                  std::size_t stride,
+                                  const std::source_location& loc) {
+  const context& c = ctx();
+  if (c.instrument) [[unlikely]] {
+    c.eng->note_read_range(addr, count, stride,
+                           access_site{loc.file_name(), loc.line()});
+  }
+}
+
+inline void instrument_write_range(const void* addr, std::size_t count,
+                                   std::size_t stride,
+                                   const std::source_location& loc) {
+  const context& c = ctx();
+  if (c.instrument) [[unlikely]] {
+    c.eng->note_write_range(addr, count, stride,
+                            access_site{loc.file_name(), loc.line()});
   }
 }
 
@@ -123,6 +144,41 @@ class shared_array {
              std::source_location loc = std::source_location::current()) {
     detail::instrument_write(&data_[i], sizeof(T), loc);
     data_[i] = std::move(v);
+  }
+
+  /// Instruments a bulk read of `count` consecutive elements starting at
+  /// `first` and returns a read-only view of them. One on_read_range event
+  /// covers the whole run; detectors treat it exactly as `count`
+  /// per-element reads at the current step (Definition 3 granularity is
+  /// unchanged — every element stays its own location).
+  std::span<const T> read_range(
+      std::size_t first, std::size_t count,
+      std::source_location loc = std::source_location::current()) const {
+    if (count == 0) return {};
+    detail::instrument_read_range(&data_[first], count, sizeof(T), loc);
+    return std::span<const T>(data_.data() + first, count);
+  }
+
+  /// Instruments a bulk write of `count` consecutive elements starting at
+  /// `first` and returns a writable view. The event fires at call time; the
+  /// caller stores through the span afterwards (instrumentation order
+  /// within one step is irrelevant to the detector).
+  std::span<T> write_range(
+      std::size_t first, std::size_t count,
+      std::source_location loc = std::source_location::current()) {
+    if (count == 0) return {};
+    detail::instrument_write_range(&data_[first], count, sizeof(T), loc);
+    return std::span<T>(data_.data() + first, count);
+  }
+
+  /// Whole-array views.
+  std::span<const T> read_all(
+      std::source_location loc = std::source_location::current()) const {
+    return read_range(0, data_.size(), loc);
+  }
+  std::span<T> write_all(
+      std::source_location loc = std::source_location::current()) {
+    return write_range(0, data_.size(), loc);
   }
 
   const void* address(std::size_t i) const noexcept { return &data_[i]; }

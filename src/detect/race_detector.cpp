@@ -7,6 +7,35 @@
 
 namespace futrace::detect {
 
+/// Run-local PRECEDE verdict cache for one observer event. No graph
+/// mutation can happen between the accesses of one event (union, nt-insert
+/// and task switches all ride on *other* observer events), and the querying
+/// task is fixed for the event, so both verdict polarities are cacheable
+/// keyed on the predecessor task alone. A range walk over a slab typically
+/// meets only a handful of distinct writer/reader tasks, which this
+/// collapses to one real PRECEDE query each.
+struct precede_cache {
+  static constexpr std::size_t k_slots = 8;
+  task_id tasks[k_slots];
+  bool verdicts[k_slots];
+  std::size_t size = 0;
+
+  const bool* lookup(task_id before) const {
+    for (std::size_t i = 0; i < size; ++i) {
+      if (tasks[i] == before) return &verdicts[i];
+    }
+    return nullptr;
+  }
+
+  void store(task_id before, bool verdict) {
+    if (size < k_slots) {
+      tasks[size] = before;
+      verdicts[size] = verdict;
+      ++size;
+    }
+  }
+};
+
 const char* race_kind_name(race_kind kind) {
   switch (kind) {
     case race_kind::write_write:
@@ -37,6 +66,7 @@ race_detector::race_detector(options opts) : opts_(opts) {
   graph_.set_memo_enabled(opts_.enable_fastpath);
   shadow_.set_direct_mapped(opts_.enable_fastpath);
   stamp_enabled_ = opts_.enable_fastpath;
+  range_enabled_ = opts_.enable_range_checks;
   if (opts_.shadow_reserve != 0) shadow_.reserve(opts_.shadow_reserve);
 }
 
@@ -99,20 +129,17 @@ void race_detector::on_get(task_id waiter, task_id target) {
   graph_.on_get(waiter, target);
 }
 
-void race_detector::on_read(task_id t, const void* addr, std::size_t,
-                            access_site site) {
-  // Algorithm 9, with the add-rule read as intended (see DESIGN.md §5): the
-  // reader is recorded unless a surviving parallel *async* reader already
-  // covers an async reader (Lemma 4); future readers are always recorded.
-  ++reads_;
-  if (graph_degraded_) {
-    shadow_.count_only();
-    return;
-  }
-  shadow_cell* cell_ptr = shadow_.try_access(addr);
-  if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
-  shadow_cell& cell = *cell_ptr;
+bool race_detector::ordered(task_id before, task_id after,
+                            precede_cache& cache) {
+  if (before == k_invalid_task) return true;
+  if (const bool* hit = cache.lookup(before)) return *hit;
+  const bool verdict = graph_.precedes(before, after);
+  cache.store(before, verdict);
+  return verdict;
+}
 
+void race_detector::check_read_cell(shadow_cell& cell, task_id t, site_id sid,
+                                    const void* addr, precede_cache& cache) {
   // Stamp elision: the same task already accessed this cell in this step
   // (no observer event in between), so every PRECEDE verdict the check
   // below would compute is unchanged and re-running it cannot alter any
@@ -127,7 +154,7 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t,
   bool covered = false;
   for (std::size_t i = 0; i < cell.reader_count();) {
     const reader_entry prev = cell.reader_at(i);
-    if (graph_.precedes(prev.task, t)) {
+    if (ordered(prev.task, t, cache)) {
       cell.remove_reader_at(i);
       continue;
     }
@@ -135,13 +162,12 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t,
     ++i;
   }
 
-  if (cell.writer != k_invalid_task && !graph_.precedes(cell.writer, t)) {
-    report(addr, race_kind::write_read, cell.writer, cell.writer_site, t,
-           sites_.intern(site));
+  if (cell.writer != k_invalid_task && !ordered(cell.writer, t, cache)) {
+    report(addr, race_kind::write_read, cell.writer, cell.writer_site, t, sid);
   }
 
   if (!covered) {
-    if (cell.add_reader(reader_entry{t, sites_.intern(site)})) {
+    if (cell.add_reader(reader_entry{t, sid})) {
       shadow_.note_reader_count(cell.reader_count());
     } else {
       // Overflow allocation refused: the reader entry was dropped, so
@@ -155,19 +181,8 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t,
   }
 }
 
-void race_detector::on_write(task_id t, const void* addr, std::size_t,
-                             access_site site) {
-  // Algorithm 8: check every stored reader and the previous writer; readers
-  // that precede the write retire, racing readers stay recorded.
-  ++writes_;
-  if (graph_degraded_) {
-    shadow_.count_only();
-    return;
-  }
-  shadow_cell* cell_ptr = shadow_.try_access(addr);
-  if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
-  shadow_cell& cell = *cell_ptr;
-
+bool race_detector::check_write_cell(shadow_cell& cell, task_id t, site_id sid,
+                                     const void* addr, precede_cache& cache) {
   // Stamp elision for writes requires the stamped access to have been a
   // *write*: re-running a write after a write by the same task in the same
   // step is a no-op (readers were already retired or reported, the writer
@@ -177,30 +192,266 @@ void race_detector::on_write(task_id t, const void* addr, std::size_t,
   if (stamp_enabled_ && cell.stamp_task == t &&
       cell.stamp_step == (step_low_ | k_stamp_write)) {
     ++stamp_hits_;
-    return;
+    return false;
   }
 
+  bool kept_reader = false;
   for (std::size_t i = 0; i < cell.reader_count();) {
     const reader_entry prev = cell.reader_at(i);
-    if (graph_.precedes(prev.task, t)) {
+    if (ordered(prev.task, t, cache)) {
       cell.remove_reader_at(i);
       continue;
     }
-    report(addr, race_kind::read_write, prev.task, prev.site, t,
-           sites_.intern(site));
+    report(addr, race_kind::read_write, prev.task, prev.site, t, sid);
+    kept_reader = true;
     ++i;
   }
 
-  if (cell.writer != k_invalid_task && !graph_.precedes(cell.writer, t)) {
+  if (cell.writer != k_invalid_task && !ordered(cell.writer, t, cache)) {
     report(addr, race_kind::write_write, cell.writer, cell.writer_site, t,
-           sites_.intern(site));
+           sid);
   }
 
   cell.writer = t;
-  cell.writer_site = sites_.intern(site);
+  cell.writer_site = sid;
   if (stamp_enabled_) {
     cell.stamp_task = t;
     cell.stamp_step = step_low_ | k_stamp_write;
+  }
+  return !kept_reader;
+}
+
+void race_detector::on_read(task_id t, const void* addr, std::size_t size,
+                            access_site site) {
+  // Mixed-size decomposition: an access wider than its element geometry
+  // covers every underlying shadow cell, not only the one at `addr` (a
+  // single-cell check silently under-checks straddling accesses). Applies
+  // with or without the fast path — span_of follows the registered element
+  // geometry, not the slab tier.
+  const shadow_memory::access_span span = shadow_.span_of(addr, size);
+  if (span.count > 1) [[unlikely]] {
+    on_read_range(t, span.first, span.count, span.stride, site);
+    return;
+  }
+  // span.first is the canonical element base (== addr unless the access
+  // lands mid-element), so all shadow tiers key the same location.
+  addr = span.first;
+  // Algorithm 9, with the add-rule read as intended (see DESIGN.md §5): the
+  // reader is recorded unless a surviving parallel *async* reader already
+  // covers an async reader (Lemma 4); future readers are always recorded.
+  ++reads_;
+  if (graph_degraded_) {
+    shadow_.count_only();
+    return;
+  }
+  shadow_cell* cell_ptr = shadow_.try_access(addr);
+  if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
+  precede_cache cache;
+  check_read_cell(*cell_ptr, t, sites_.intern(site), addr, cache);
+}
+
+void race_detector::on_write(task_id t, const void* addr, std::size_t size,
+                             access_site site) {
+  const shadow_memory::access_span span = shadow_.span_of(addr, size);
+  if (span.count > 1) [[unlikely]] {
+    on_write_range(t, span.first, span.count, span.stride, site);
+    return;
+  }
+  addr = span.first;
+  // Algorithm 8: check every stored reader and the previous writer; readers
+  // that precede the write retire, racing readers stay recorded.
+  ++writes_;
+  if (graph_degraded_) {
+    shadow_.count_only();
+    return;
+  }
+  shadow_cell* cell_ptr = shadow_.try_access(addr);
+  if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
+  precede_cache cache;
+  check_write_cell(*cell_ptr, t, sites_.intern(site), addr, cache);
+}
+
+bool race_detector::try_summary_read(shadow_memory::direct_range& slab,
+                                     task_id t, site_id sid,
+                                     std::size_t count) {
+  shadow_memory::run_summary& s = slab.summary;
+  // Whole-slab stamp: the same task already swept the slab in this step.
+  if (stamp_enabled_ && s.stamp_task == t &&
+      (s.stamp_step & ~k_stamp_write) == step_low_) {
+    stamp_hits_ += count;
+    shadow_.note_range_direct(count);
+    shadow_.add_reader_samples(
+        count * (s.reader.task == k_invalid_task ? 0u : 1u));
+    return true;
+  }
+  const std::uint64_t pre_readers = s.reader.task == k_invalid_task ? 0 : 1;
+  bool covered = false;
+  if (s.reader.task != k_invalid_task) {
+    if (graph_.precedes(s.reader.task, t)) {
+      s.reader = reader_entry{};
+    } else if (!is_joinable(s.reader.task) && !is_joinable(t)) {
+      covered = true;
+    } else {
+      // Would need a second stored reader per cell — beyond what one
+      // uniform interval can represent.
+      return false;
+    }
+  }
+  if (s.writer != k_invalid_task && !graph_.precedes(s.writer, t)) {
+    // Write-read race on every cell: materialize for exact per-cell
+    // reports. (The reader retirement above is exactly what the per-cell
+    // walk would also do, so the mutation is safe to keep.)
+    return false;
+  }
+  shadow_.note_range_direct(count);
+  shadow_.add_reader_samples(count * pre_readers);
+  if (!covered) {
+    s.reader = reader_entry{t, sid};
+    shadow_.note_reader_count(1);
+  }
+  if (stamp_enabled_) {
+    s.stamp_task = t;
+    s.stamp_step = step_low_;
+  }
+  return true;
+}
+
+bool race_detector::try_summary_write(shadow_memory::direct_range& slab,
+                                      task_id t, site_id sid,
+                                      std::size_t count) {
+  shadow_memory::run_summary& s = slab.summary;
+  if (stamp_enabled_ && s.stamp_task == t &&
+      s.stamp_step == (step_low_ | k_stamp_write)) {
+    stamp_hits_ += count;
+    shadow_.note_range_direct(count);
+    shadow_.add_reader_samples(
+        count * (s.reader.task == k_invalid_task ? 0u : 1u));
+    return true;
+  }
+  const std::uint64_t pre_readers = s.reader.task == k_invalid_task ? 0 : 1;
+  if (s.reader.task != k_invalid_task) {
+    if (!graph_.precedes(s.reader.task, t)) return false;  // read-write race
+    s.reader = reader_entry{};
+  }
+  if (s.writer != k_invalid_task && !graph_.precedes(s.writer, t)) {
+    return false;  // write-write race on every cell
+  }
+  shadow_.note_range_direct(count);
+  shadow_.add_reader_samples(count * pre_readers);
+  s.writer = t;
+  s.writer_site = sid;
+  if (stamp_enabled_) {
+    s.stamp_task = t;
+    s.stamp_step = step_low_ | k_stamp_write;
+  }
+  return true;
+}
+
+void race_detector::on_read_range(task_id t, const void* addr,
+                                  std::size_t count, std::size_t stride,
+                                  access_site site) {
+  if (count == 0) return;
+  if (count == 1) {
+    on_read(t, addr, stride, site);
+    return;
+  }
+  ++range_events_;
+  if (graph_degraded_) {
+    reads_ += count;
+    shadow_.count_only_n(count);
+    return;
+  }
+  if (!range_enabled_) {
+    // --no-ranges: the per-element checking path, element by element.
+    execution_observer::on_read_range(t, addr, count, stride, site);
+    return;
+  }
+  const shadow_memory::slab_run run = shadow_.find_run(addr, count, stride);
+  if (run.first == nullptr) {
+    // Hashed tier, stride mismatch, misalignment, or a run spilling past
+    // its slab: fall back to per-element checking for this event.
+    execution_observer::on_read_range(t, addr, count, stride, site);
+    return;
+  }
+  reads_ += count;
+  const site_id sid = sites_.intern(site);
+  if (run.slab->summary.valid) {
+    if (run.full && try_summary_read(*run.slab, t, sid, count)) {
+      range_hits_ += count;
+      summary_hits_ += count;
+      return;
+    }
+    shadow_.materialize(*run.slab);
+  }
+  shadow_.note_range_direct(count);
+  precede_cache cache;
+  std::uint64_t sampled = 0;
+  shadow_cell* cell = run.first;
+  const char* base = static_cast<const char*>(addr);
+  for (std::size_t i = 0; i < count; ++i, ++cell) {
+    sampled += cell->reader_count();
+    check_read_cell(*cell, t, sid, base + i * stride, cache);
+  }
+  shadow_.add_reader_samples(sampled);
+  range_hits_ += count;
+}
+
+void race_detector::on_write_range(task_id t, const void* addr,
+                                   std::size_t count, std::size_t stride,
+                                   access_site site) {
+  if (count == 0) return;
+  if (count == 1) {
+    on_write(t, addr, stride, site);
+    return;
+  }
+  ++range_events_;
+  if (graph_degraded_) {
+    writes_ += count;
+    shadow_.count_only_n(count);
+    return;
+  }
+  if (!range_enabled_) {
+    execution_observer::on_write_range(t, addr, count, stride, site);
+    return;
+  }
+  const shadow_memory::slab_run run = shadow_.find_run(addr, count, stride);
+  if (run.first == nullptr) {
+    execution_observer::on_write_range(t, addr, count, stride, site);
+    return;
+  }
+  writes_ += count;
+  const site_id sid = sites_.intern(site);
+  if (run.slab->summary.valid) {
+    if (run.full && try_summary_write(*run.slab, t, sid, count)) {
+      range_hits_ += count;
+      summary_hits_ += count;
+      return;
+    }
+    shadow_.materialize(*run.slab);
+  }
+  shadow_.note_range_direct(count);
+  precede_cache cache;
+  std::uint64_t sampled = 0;
+  bool uniform = true;
+  shadow_cell* cell = run.first;
+  const char* base = static_cast<const char*>(addr);
+  for (std::size_t i = 0; i < count; ++i, ++cell) {
+    sampled += cell->reader_count();
+    uniform &= check_write_cell(*cell, t, sid, base + i * stride, cache);
+  }
+  shadow_.add_reader_samples(sampled);
+  range_hits_ += count;
+  // A race-free full-slab write leaves every cell in the identical state
+  // {writer = t, no readers, stamp (t, step, write)} — collapse it to a run
+  // summary so the next full-slab sweep under the same ordering is one
+  // PRECEDE query and one summary update instead of O(cells).
+  if (run.full && uniform && !shadow_.degraded()) {
+    shadow_memory::run_summary s;
+    s.writer = t;
+    s.writer_site = sid;
+    s.stamp_task = stamp_enabled_ ? t : k_invalid_task;
+    s.stamp_step = step_low_ | k_stamp_write;
+    shadow_.establish_summary(*run.slab, s);
   }
 }
 
@@ -258,6 +509,9 @@ detector_counters race_detector::counters() const {
   c.memo_hits = gs.memo_hits;
   c.stamp_hits = stamp_hits_;
   c.precede_queries = gs.precede_queries;
+  c.range_events = range_events_;
+  c.range_hits = range_hits_;
+  c.summary_hits = summary_hits_;
   return c;
 }
 

@@ -1,5 +1,7 @@
 #include "futrace/progen/random_program.hpp"
 
+#include <algorithm>
+
 #include "futrace/support/assert.hpp"
 
 namespace futrace::progen {
@@ -71,6 +73,8 @@ void random_program::body(int depth, visible_state& visible) {
 
     double w_read = config_.w_read;
     double w_write = config_.w_write;
+    double w_rread = config_.w_range_read;
+    double w_rwrite = config_.w_range_write;
     double w_async = can_spawn ? config_.w_async : 0.0;
     double w_future = can_spawn ? config_.w_future : 0.0;
     double w_finish = depth < config_.max_depth ? config_.w_finish : 0.0;
@@ -78,12 +82,22 @@ void random_program::body(int depth, visible_state& visible) {
     double w_promise = config_.w_promise;
     double w_put = puttable != k_invalid_task ? config_.w_put : 0.0;
     double w_pget = gettable != k_invalid_task ? config_.w_promise_get : 0.0;
-    const double total = w_read + w_write + w_async + w_future + w_finish +
-                         w_get + w_promise + w_put + w_pget;
+    const double total = w_read + w_write + w_rread + w_rwrite + w_async +
+                         w_future + w_finish + w_get + w_promise + w_put +
+                         w_pget;
     double pick = rng_.uniform() * total;
 
     const auto var = [this] {
       return static_cast<std::size_t>(rng_.below(config_.num_vars));
+    };
+    // Contiguous interval [first, first+len) inside the var array; a fixed
+    // two draws per range action keeps RNG consumption deterministic.
+    const auto interval = [this](std::size_t& first, std::size_t& len) {
+      const std::size_t cap = std::min<std::size_t>(
+          config_.max_range_len > 0 ? config_.max_range_len : 1,
+          static_cast<std::size_t>(config_.num_vars));
+      len = 1 + rng_.below(cap);
+      first = rng_.below(static_cast<std::size_t>(config_.num_vars) - len + 1);
     };
 
     if ((pick -= w_read) < 0) {
@@ -92,6 +106,18 @@ void random_program::body(int depth, visible_state& visible) {
     } else if ((pick -= w_write) < 0) {
       ++stats_.writes;
       vars_.write(var(), static_cast<int>(rng_() & 0xFFFF));
+    } else if ((pick -= w_rread) < 0) {
+      ++stats_.range_reads;
+      std::size_t first = 0, len = 0;
+      interval(first, len);
+      (void)vars_.read_range(first, len);
+    } else if ((pick -= w_rwrite) < 0) {
+      ++stats_.range_writes;
+      std::size_t first = 0, len = 0;
+      interval(first, len);
+      const auto out = vars_.write_range(first, len);
+      const int fill = static_cast<int>(rng_() & 0xFFFF);
+      for (std::size_t i = 0; i < len; ++i) out[i] = fill + static_cast<int>(i);
     } else if ((pick -= w_async) < 0) {
       ++stats_.asyncs;
       ++tasks_spawned_;

@@ -46,6 +46,10 @@ class elision_engine final : public engine {
 
   void note_read(const void*, std::size_t, access_site) override {}
   void note_write(const void*, std::size_t, access_site) override {}
+  void note_read_range(const void*, std::size_t, std::size_t,
+                       access_site) override {}
+  void note_write_range(const void*, std::size_t, std::size_t,
+                        access_site) override {}
 
   task_id current_task() const override { return k_invalid_task; }
   std::uint64_t tasks_spawned() const override { return 0; }
@@ -185,6 +189,20 @@ class serial_engine final : public engine {
                   access_site site) override {
     const task_id t = task_stack_.back().id;
     for (auto* obs : observers_) obs->on_write(t, addr, size, site);
+  }
+
+  void note_read_range(const void* addr, std::size_t count, std::size_t stride,
+                       access_site site) override {
+    const task_id t = task_stack_.back().id;
+    for (auto* obs : observers_) obs->on_read_range(t, addr, count, stride, site);
+  }
+
+  void note_write_range(const void* addr, std::size_t count, std::size_t stride,
+                        access_site site) override {
+    const task_id t = task_stack_.back().id;
+    for (auto* obs : observers_) {
+      obs->on_write_range(t, addr, count, stride, site);
+    }
   }
 
   task_id current_task() const override {

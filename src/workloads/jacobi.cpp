@@ -72,13 +72,20 @@ void jacobi_workload::operator()() {
         cur[tr * tiles + tc] =
             async_future([this, &src, &dst, dep_futs, r0, r1, c0, c1] {
               for (const auto& f : dep_futs) f.get();
+              // Bulk accessors: per tile row, three contiguous source
+              // strips (row above, row below, and the row itself widened by
+              // one on each side to cover the left/right neighbours) plus
+              // one destination strip. Same (task, cell, kind) access set
+              // as the per-element loop, in four events per row.
+              const std::size_t w = c1 - c0;
               for (std::size_t r = r0; r < r1; ++r) {
+                const auto up = src.read_range(index(r - 1, c0), w);
+                const auto down = src.read_range(index(r + 1, c0), w);
+                const auto mid = src.read_range(index(r, c0 - 1), w + 2);
+                const auto out = dst.write_range(index(r, c0), w);
                 for (std::size_t c = c0; c < c1; ++c) {
-                  const double v = 0.25 * (src.read(index(r - 1, c)) +
-                                           src.read(index(r + 1, c)) +
-                                           src.read(index(r, c - 1)) +
-                                           src.read(index(r, c + 1)));
-                  dst.write(index(r, c), v);
+                  out[c - c0] = 0.25 * (up[c - c0] + down[c - c0] +
+                                        mid[c - c0] + mid[c - c0 + 2]);
                 }
               }
             });

@@ -82,8 +82,11 @@ void series_workload::operator()() {
       b_.write(i, coefficient(i, /*sine=*/true));
     }));
   }
-  for (std::size_t i = 1; i <= n; ++i) {
-    handles_.read(i).get();
+  // Bulk read of the handle array, then the joins.
+  const auto hs = handles_.read_range(1, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    future<void> f = hs[i];
+    f.get();
   }
 }
 

@@ -40,15 +40,25 @@ void sw_workload::operator()() {
 
       done[ti * tiles_c + tj] = async_future([this, deps, r0, r1, c0, c1] {
         for (const auto& f : deps) (void)f.get();
+        // Bulk accessors per tile row: one strip of the previous row
+        // covering the diagonal and up neighbours, one strip of this row
+        // starting at the left neighbour, and the output strip. `left`
+        // aliases the cells `out` fills, so left[c - c0] for c > c0 reads
+        // the value stored earlier in this loop — the same dataflow as the
+        // per-element version.
+        const std::size_t w = c1 - c0;
         int tile_best = 0;
         for (std::size_t r = r0; r < r1; ++r) {
+          const auto prev = h_.read_range(index(r - 1, c0 - 1), w + 1);
+          const auto left = h_.read_range(index(r, c0 - 1), w);
+          const auto out = h_.write_range(index(r, c0), w);
           for (std::size_t c = c0; c < c1; ++c) {
-            const int diag = h_.read(index(r - 1, c - 1)) +
-                             score(seq_a_[r - 1], seq_b_[c - 1]);
-            const int up = h_.read(index(r - 1, c)) + cfg_.gap;
-            const int left = h_.read(index(r, c - 1)) + cfg_.gap;
-            const int v = std::max({0, diag, up, left});
-            h_.write(index(r, c), v);
+            const int diag =
+                prev[c - c0] + score(seq_a_[r - 1], seq_b_[c - 1]);
+            const int up = prev[c - c0 + 1] + cfg_.gap;
+            const int lf = left[c - c0] + cfg_.gap;
+            const int v = std::max({0, diag, up, lf});
+            out[c - c0] = v;
             tile_best = std::max(tile_best, v);
           }
         }

@@ -30,14 +30,21 @@ strassen_workload::mat strassen_workload::alloc(std::size_t n) {
 }
 
 void strassen_workload::multiply_naive(mat a, mat b, mat c) {
+  // One bulk read per operand and one bulk write for the result: the block
+  // kernel touches every element of all three matrices, so whole-array
+  // events carry the same location set as the per-element loop while the
+  // arithmetic runs on uninstrumented spans.
   const std::size_t n = a.n;
+  const auto av = a.cells->read_all();
+  const auto bv = b.cells->read_all();
+  const auto cv = c.cells->write_all();
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       double sum = 0.0;
       for (std::size_t k = 0; k < n; ++k) {
-        sum += a.cells->read(i * n + k) * b.cells->read(k * n + j);
+        sum += av[i * n + k] * bv[k * n + j];
       }
-      c.cells->write(i * n + j, sum);
+      cv[i * n + j] = sum;
     }
   }
 }
@@ -53,11 +60,12 @@ void strassen_workload::multiply(mat a, mat b, mat c) {
   // array-shuffling the Kastors version performs).
   auto quadrant = [this, h](mat m, std::size_t qr, std::size_t qc) {
     mat q = alloc(h);
+    // Full-array write on the fresh quadrant (establishing its slab
+    // summary) fed by one contiguous source strip per row.
+    const auto qv = q.cells->write_all();
     for (std::size_t i = 0; i < h; ++i) {
-      for (std::size_t j = 0; j < h; ++j) {
-        q.cells->write(i * h + j,
-                       m.cells->read((qr * h + i) * m.n + (qc * h + j)));
-      }
+      const auto row = m.cells->read_range((qr * h + i) * m.n + qc * h, h);
+      for (std::size_t j = 0; j < h; ++j) qv[i * h + j] = row[j];
     }
     return q;
   };
@@ -69,8 +77,11 @@ void strassen_workload::multiply(mat a, mat b, mat c) {
   // Each product task computes its operand sums locally, recurses, and
   // returns its result matrix.
   auto sum = [h](mat x, mat y, mat out, double sign) {
+    const auto xv = x.cells->read_all();
+    const auto yv = y.cells->read_all();
+    const auto ov = out.cells->write_all();
     for (std::size_t i = 0; i < h * h; ++i) {
-      out.cells->write(i, x.cells->read(i) + sign * y.cells->read(i));
+      ov[i] = xv[i] + sign * yv[i];
     }
   };
   auto product = [this, h, sum](mat x1, mat x2, double xsign, bool xpair,
@@ -111,9 +122,16 @@ void strassen_workload::multiply(mat a, mat b, mat c) {
       mat out = alloc(h);
       for (std::size_t t = 0; t < fs.size(); ++t) {
         const mat m = fs[t].get();
+        const auto mv = m.cells->read_all();
+        if (t == 0) {
+          const auto ov = out.cells->write_all();
+          for (std::size_t i = 0; i < h * h; ++i) ov[i] = ss[t] * mv[i];
+          continue;
+        }
+        const auto prev = out.cells->read_all();
+        const auto ov = out.cells->write_all();
         for (std::size_t i = 0; i < h * h; ++i) {
-          const double prev = t == 0 ? 0.0 : out.cells->read(i);
-          out.cells->write(i, prev + ss[t] * m.cells->read(i));
+          ov[i] = prev[i] + ss[t] * mv[i];
         }
       }
       return out;
@@ -128,11 +146,10 @@ void strassen_workload::multiply(mat a, mat b, mat c) {
   // Tree joins by the parent, then assembly into c.
   auto place = [this, h, c](future<mat> q, std::size_t qr, std::size_t qc) {
     const mat m = q.get();
+    const auto mv = m.cells->read_all();
     for (std::size_t i = 0; i < h; ++i) {
-      for (std::size_t j = 0; j < h; ++j) {
-        c.cells->write((qr * h + i) * c.n + (qc * h + j),
-                       m.cells->read(i * h + j));
-      }
+      const auto row = c.cells->write_range((qr * h + i) * c.n + qc * h, h);
+      for (std::size_t j = 0; j < h; ++j) row[j] = mv[i * h + j];
     }
   };
   place(c11, 0, 0);

@@ -32,6 +32,12 @@ detect::race_detector::options with_fastpath(bool enabled) {
   return opts;
 }
 
+detect::race_detector::options with_ranges(bool enabled) {
+  detect::race_detector::options opts;
+  opts.enable_range_checks = enabled;
+  return opts;
+}
+
 /// Runs `body` under a fresh serial_dfs runtime + detector.
 template <typename Body>
 detect::race_detector run_detected(detect::race_detector::options opts,
@@ -212,6 +218,147 @@ TEST(FastpathDifferential, RacyArrayVerdictsMatch) {
   EXPECT_TRUE(fast.race_detected());
   EXPECT_EQ(racy_set(fast), racy_set(plain));
   EXPECT_EQ(fast.counters().racy_locations, 32u);
+}
+
+// ------------------------------------------------------------------- ranges
+
+// Generated programs now emit bulk read_range/write_range statements (the
+// default progen weights include them). The coalesced range engine, the
+// per-element decomposition (--no-ranges), and the fully unoptimized path
+// must agree on every per-location verdict AND on the structural counters:
+// a range of n elements counts as n reads/writes in every configuration.
+TEST(RangeDifferential, MatchesNoRangesAcrossSeeds) {
+  const progen_config shapes[] = {
+      {},  // balanced defaults (range weights on)
+      {.max_depth = 4,
+       .num_vars = 6,
+       .w_read = 1.0,
+       .w_write = 1.0,
+       .w_range_read = 4.0,  // range-heavy
+       .w_range_write = 3.0,
+       .w_future = 2.0,
+       .w_get = 2.5,
+       .max_range_len = 6},
+  };
+  std::uint64_t total_ranges = 0;
+  for (const bool safe : {true, false}) {
+    for (std::size_t s = 0; s < std::size(shapes); ++s) {
+      for (int seed = 1; seed <= 20; ++seed) {
+        progen_config cfg = shapes[s];
+        cfg.safe_handles = safe;
+        cfg.seed = static_cast<std::uint64_t>(seed) * 15485863 + s;
+        random_program prog(cfg);
+
+        auto ranged = run_detected(with_ranges(true), [&] { prog(); });
+        total_ranges += prog.stats().range_reads + prog.stats().range_writes;
+        auto scalar = run_detected(with_ranges(false), [&] { prog(); });
+        auto plain = run_detected(with_fastpath(false), [&] { prog(); });
+
+        EXPECT_EQ(racy_set(ranged), racy_set(scalar))
+            << "shape=" << s << " safe=" << safe << " seed=" << cfg.seed;
+        EXPECT_EQ(racy_set(ranged), racy_set(plain))
+            << "shape=" << s << " safe=" << safe << " seed=" << cfg.seed;
+        EXPECT_EQ(ranged.race_detected(), scalar.race_detected());
+        const auto cr = ranged.counters();
+        const auto cs = scalar.counters();
+        EXPECT_EQ(cr.reads, cs.reads);
+        EXPECT_EQ(cr.writes, cs.writes);
+        EXPECT_EQ(cr.shared_mem_accesses, cs.shared_mem_accesses);
+        EXPECT_EQ(cr.racy_locations, cs.racy_locations);
+        // --no-ranges must actually take the scalar path.
+        EXPECT_EQ(cs.range_hits, 0u);
+      }
+    }
+  }
+  // The sweep as a whole must exercise bulk statements (individual short
+  // programs may legitimately draw none).
+  EXPECT_GT(total_ranges, 0u);
+}
+
+// Range verdicts must also match the step-level oracle directly.
+TEST(RangeDifferential, MatchesOracleOnRangePrograms) {
+  for (int seed = 1; seed <= 15; ++seed) {
+    progen_config cfg;
+    cfg.w_range_read = 3.0;
+    cfg.w_range_write = 2.5;
+    cfg.seed = static_cast<std::uint64_t>(seed) * 6700417;
+    random_program prog(cfg);
+
+    detect::race_detector det(with_ranges(true));
+    baselines::oracle_detector oracle;
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.add_observer(&det);
+    rt.add_observer(&oracle);
+    rt.run([&] { prog(); });
+
+    const auto det_locations = det.racy_locations();
+    const auto oracle_locations = oracle.racy_locations();
+    EXPECT_EQ(std::set<const void*>(det_locations.begin(),
+                                    det_locations.end()),
+              std::set<const void*>(oracle_locations.begin(),
+                                    oracle_locations.end()))
+        << "seed=" << cfg.seed;
+  }
+}
+
+// Full-array sweeps: the first write_all establishes a slab run summary, and
+// every later full-array access must be answered by the O(1) summary tier.
+TEST(RangeCounters, SummaryTierEngagesOnFullArraySweeps) {
+  auto det = run_detected(with_ranges(true), [] {
+    shared_array<int> data(256);
+    finish([&] {
+      async([&] {
+        const auto out = data.write_all();
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          out[i] = static_cast<int>(i);
+        }
+      });
+    });
+    long sum = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+      const auto in = data.read_all();
+      for (const int v : in) sum += v;
+    }
+    (void)sum;
+  });
+
+  EXPECT_FALSE(det.race_detected());
+  const auto c = det.counters();
+  EXPECT_GT(c.range_events, 0u);
+  EXPECT_GT(c.range_hits, 0u) << "bulk events must resolve via the run walk";
+  EXPECT_GT(c.summary_hits, 0u) << "re-sweeps must hit the O(1) summary";
+  // Bookkeeping parity with the scalar path.
+  EXPECT_EQ(c.reads, 3u * 256u);
+  EXPECT_EQ(c.writes, 256u);
+  EXPECT_EQ(c.direct_hits + c.hashed_hits, c.shared_mem_accesses);
+}
+
+// Racy ranges: an unjoined future's write_range against the root's
+// read_range. Every overlapped cell must be flagged, in both configurations,
+// whether the race is caught by the per-cell walk or forces summary
+// materialization first.
+TEST(RangeDifferential, RacyRangeVerdictsMatch) {
+  auto program = [] {
+    shared_array<int> data(64);
+    auto f = async_future([&] {
+      const auto out = data.write_range(0, 32);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = static_cast<int>(i);
+      }
+    });
+    const auto in = data.read_range(16, 32);  // cells 16..31 race
+    long sum = 0;
+    for (const int v : in) sum += v;
+    f.get();
+    (void)sum;
+  };
+  auto ranged = run_detected(with_ranges(true), program);
+  auto scalar = run_detected(with_ranges(false), program);
+  auto plain = run_detected(with_fastpath(false), program);
+  EXPECT_TRUE(ranged.race_detected());
+  EXPECT_EQ(ranged.counters().racy_locations, 16u);
+  EXPECT_EQ(racy_set(ranged), racy_set(scalar));
+  EXPECT_EQ(racy_set(ranged), racy_set(plain));
 }
 
 // --shadow-hint plumbing: reserving must not change any result.

@@ -151,6 +151,24 @@ const shape k_shapes[] = {
       .w_promise = 2.0,
       .w_put = 2.6,
       .w_promise_get = 2.6}},
+    // Bulk-dominated traffic: most accesses arrive as read_range/write_range
+    // events, stressing the coalesced walk, summary establishment, and
+    // materialization against the per-element oracle (every other shape also
+    // mixes in ranges via the default weights).
+    {"range-heavy",
+     {.max_depth = 4,
+      .min_stmts = 3,
+      .max_stmts = 10,
+      .num_vars = 8,
+      .w_read = 1.0,
+      .w_write = 0.8,
+      .w_range_read = 4.5,
+      .w_range_write = 3.5,
+      .w_async = 1.0,
+      .w_future = 1.6,
+      .w_finish = 0.6,
+      .w_get = 2.2,
+      .max_range_len = 8}},
 };
 
 class TheoremTwo : public ::testing::TestWithParam<int> {};

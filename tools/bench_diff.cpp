@@ -253,6 +253,16 @@ int self_test() {
          "hit growth is an improvement");
   expect(run(R"({"verified": true})", R"({"verified": false})") == 1,
          "verified flipping false is gated");
+  // Range-coalescing keys from bench/table2: effectiveness metrics, so a
+  // drop gates and growth passes.
+  expect(run(R"({"range_hit_rate": 0.8})", R"({"range_hit_rate": 0.2})") == 1,
+         "range hit-rate drop is gated");
+  expect(run(R"({"range_hit_rate": 0.5})", R"({"range_hit_rate": 0.9})") == 0,
+         "range hit-rate growth passes");
+  expect(run(R"({"summary_hits": 1000})", R"({"summary_hits": 10})") == 1,
+         "summary-hit drop is gated");
+  expect(run(R"({"range_events": 100})", R"({"range_events": 90})") == 0,
+         "fewer range events (better coalescing) passes");
   expect(run(R"({"rows": [{"name": "b", "tasks": 5}, {"name": "a", "tasks": 9}]})",
              R"({"rows": [{"name": "a", "tasks": 9}, {"name": "b", "tasks": 5}]})") == 0,
          "rows are matched by name, not order");

@@ -62,8 +62,9 @@ struct outcome {
 };
 
 bool stats_equal(const progen::progen_stats& a, const progen::progen_stats& b) {
-  return a.reads == b.reads && a.writes == b.writes && a.gets == b.gets &&
-         a.asyncs == b.asyncs && a.futures == b.futures &&
+  return a.reads == b.reads && a.writes == b.writes &&
+         a.range_reads == b.range_reads && a.range_writes == b.range_writes &&
+         a.gets == b.gets && a.asyncs == b.asyncs && a.futures == b.futures &&
          a.finishes == b.finishes && a.promises == b.promises &&
          a.puts == b.puts && a.promise_gets == b.promise_gets;
 }
