@@ -132,6 +132,36 @@ void BM_PrecedeNtChainMemoized(benchmark::State& state) {
 }
 BENCHMARK(BM_PrecedeNtChainMemoized)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 
+// The union-find pointer chase itself: nested finishes join each singleton
+// parent set under its (larger) descendant set, so the UF parent chain
+// grows one hop per nesting level, and the first PRECEDE query after the
+// innermost finish walks the whole chain cold. find() path-halves as it
+// walks — two loads per hop (parent, then grandparent) — so this bench
+// pins the loads-per-hop constant: a regression to the naive three-load
+// find shows up directly in ns/hop. The graph is rebuilt outside the timed
+// region each iteration to keep the chain un-halved.
+void BM_PrecedeDeepChain(benchmark::State& state) {
+  const auto hops = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    reachability_graph g;
+    const task_id root = g.create_root();
+    std::vector<task_id> spine{root};
+    for (std::size_t i = 0; i < hops; ++i) {
+      spine.push_back(g.create_task(spine.back()));
+    }
+    for (std::size_t i = hops; i >= 1; --i) {
+      g.on_terminate(spine[i]);
+      g.on_finish_join(spine[i - 1], spine[i]);
+    }
+    const task_id cur = g.create_task(root);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(g.precedes(spine[1], cur));
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_PrecedeDeepChain)->Arg(64)->Arg(512)->Arg(4096);
+
 // Non-tree predecessor fan-in: each consumer get()s `fan` sibling futures,
 // so its set's nt list holds `fan` entries. The Table 2 stencil consumers
 // hold up to 5 (Jacobi: own tile + 4 neighbours; Smith-Waterman: 3;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "futrace/detect/pipeline.hpp"
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/runtime/runtime.hpp"
 #include "futrace/support/flags.hpp"
@@ -39,6 +40,8 @@ struct paper_row {
 struct row_result {
   std::string name;
   futrace::detect::detector_counters counters;
+  futrace::detect::pipeline_stats pipe{};
+  bool pipe_mode = false;  // row ran with --detect-threads > 0
   double seq_ms = 0;
   double racedet_ms = 0;
   bool verified = false;
@@ -78,6 +81,7 @@ struct bench_config {
   bool fastpath = true;
   bool ranges = true;
   std::size_t shadow_hint = 0;  // 0 = use the per-row workload hint
+  unsigned detect_threads = 0;  // 0 = inline detector, N = pipelined
 };
 
 // Runs one benchmark in both configurations. `make` returns a fresh workload
@@ -108,18 +112,38 @@ row_result run_row(const std::string& name, Make make,
   det_opts.enable_range_checks = cfg.ranges;
   det_opts.shadow_reserve =
       cfg.shadow_hint != 0 ? cfg.shadow_hint : workload_hint;
+  det_opts.detect_threads = cfg.detect_threads;
+  row.pipe_mode = cfg.detect_threads > 0;
 
+  // The timed region covers run *and* verdict: in pipelined mode the first
+  // query drains the rings and joins the checkers, so the measurement is
+  // end-to-end time-to-verdict, not just time-to-last-event.
   sample_set det_times;
   for (int r = 0; r < cfg.repeats; ++r) {
     auto w = make();
-    futrace::detect::race_detector det(det_opts);
     futrace::runtime rt({.mode = futrace::exec_mode::serial_dfs});
-    rt.add_observer(&det);
-    stopwatch timer;
-    rt.run([&] { (*w)(); });
-    det_times.add(timer.elapsed_ms());
-    row.verified = row.verified && w->verify() && !det.race_detected();
-    if (r == cfg.repeats - 1) row.counters = det.counters();
+    if (row.pipe_mode) {
+      futrace::detect::pipelined_detector det(det_opts);
+      rt.add_observer(&det);
+      stopwatch timer;
+      rt.run([&] { (*w)(); });
+      const bool raced = det.race_detected();
+      det_times.add(timer.elapsed_ms());
+      row.verified = row.verified && w->verify() && !raced;
+      if (r == cfg.repeats - 1) {
+        row.counters = det.counters();
+        row.pipe = det.pipe_stats();
+      }
+    } else {
+      futrace::detect::race_detector det(det_opts);
+      rt.add_observer(&det);
+      stopwatch timer;
+      rt.run([&] { (*w)(); });
+      const bool raced = det.race_detected();
+      det_times.add(timer.elapsed_ms());
+      row.verified = row.verified && w->verify() && !raced;
+      if (r == cfg.repeats - 1) row.counters = det.counters();
+    }
   }
 
   row.seq_ms = seq_times.mean();
@@ -160,6 +184,20 @@ futrace::support::json row_to_json(const row_result& r) {
   rates["stamp_hit_rate"] = r.stamp_rate();
   rates["range_hit_rate"] = r.range_rate();
   row["rates"] = rates;
+  if (r.pipe_mode) {
+    // Ring/fill metrics are scheduling-dependent (bench_diff treats
+    // occupancy/backpressure as advisory); pipe_events and inline_fallbacks
+    // are deterministic and gate normally.
+    json pipe = json::object();
+    pipe["workers"] = r.pipe.workers;
+    pipe["ring_capacity"] = r.pipe.ring_capacity;
+    pipe["pipe_events"] = r.pipe.events;
+    pipe["inline_fallbacks"] = r.pipe.inline_fallbacks;
+    pipe["workers_died"] = r.pipe.workers_died;
+    pipe["occupancy_pct"] = r.pipe.occupancy_pct();
+    pipe["backpressure_waits"] = r.pipe.backpressure_waits;
+    row["pipe"] = pipe;
+  }
   return row;
 }
 
@@ -179,7 +217,10 @@ int main(int argc, char** argv) {
               "decompose bulk accesses per element (PR 2 scalar path)")
       .define("shadow-hint", "0",
               "pre-size shadow storage for this many locations "
-              "(0 = per-row workload estimate)");
+              "(0 = per-row workload estimate)")
+      .define("detect-threads", "0",
+              "stream events to N address-sharded checker threads "
+              "(0 = inline detection on the execution thread)");
   flags.parse(argc, argv);
   const auto scale = static_cast<std::size_t>(flags.get_int("scale"));
   const std::string filter = flags.get_string("rows");
@@ -191,6 +232,7 @@ int main(int argc, char** argv) {
   cfg.fastpath = !flags.get_bool("no-fastpath");
   cfg.ranges = !flags.get_bool("no-ranges");
   cfg.shadow_hint = static_cast<std::size_t>(flags.get_int("shadow-hint"));
+  cfg.detect_threads = static_cast<unsigned>(flags.get_int("detect-threads"));
 
   using namespace futrace::workloads;
   std::vector<row_result> rows;
@@ -275,8 +317,8 @@ int main(int argc, char** argv) {
 
   text_table table({"Benchmark", "#Tasks", "#NTJoins", "#SharedMem",
                     "#AvgReaders", "Seq(ms)", "Racedet(ms)", "Slowdown",
-                    "Direct%", "Memo%", "Stamp%", "Range%", "PaperSlowdown",
-                    "Verified"});
+                    "Direct%", "Memo%", "Stamp%", "Range%", "Pipe%",
+                    "PaperSlowdown", "Verified"});
   for (const row_result& r : rows) {
     table.add_row({r.name, text_table::with_commas(r.counters.tasks),
                    text_table::with_commas(r.counters.non_tree_joins),
@@ -289,13 +331,16 @@ int main(int argc, char** argv) {
                    text_table::fixed(100.0 * r.memo_rate(), 1),
                    text_table::fixed(100.0 * r.stamp_rate(), 1),
                    text_table::fixed(100.0 * r.range_rate(), 1),
+                   r.pipe_mode ? text_table::fixed(r.pipe.occupancy_pct(), 1)
+                               : std::string("-"),
                    std::string(r.paper.slowdown) + "x",
                    r.verified ? "yes" : "NO"});
   }
   std::printf("Table 2 — determinacy race detection overhead "
-              "(scale=%zu, repeats=%d, fastpath=%s, ranges=%s)\n\n",
+              "(scale=%zu, repeats=%d, fastpath=%s, ranges=%s, "
+              "detect-threads=%u)\n\n",
               scale, cfg.repeats, cfg.fastpath ? "on" : "off",
-              cfg.ranges ? "on" : "off");
+              cfg.ranges ? "on" : "off", cfg.detect_threads);
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nPaper rows used JGF Size C / 2048x2048 / 10000x10000 / 1024x1024 "
@@ -310,6 +355,7 @@ int main(int argc, char** argv) {
     doc["repeats"] = cfg.repeats;
     doc["fastpath"] = cfg.fastpath;
     doc["ranges"] = cfg.ranges;
+    doc["detect_threads"] = static_cast<std::uint64_t>(cfg.detect_threads);
     json row_array = json::array();
     for (const row_result& r : rows) row_array.push_back(row_to_json(r));
     doc["rows"] = row_array;

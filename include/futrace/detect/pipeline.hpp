@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file pipeline.hpp
+/// Pipelined, address-sharded race detection: overlap the instrumented
+/// serial execution with race checking instead of paying the full detector
+/// on the execution thread.
+///
+///   execution thread                      checker workers (W threads)
+///   ----------------                      ---------------------------
+///   run program, observe events  ──ring 0──►  worker 0: graph replica +
+///   span_of + shard routing      ──ring 1──►  worker 1:   shadow shard
+///   (~tens of ns per event)          ...         ...
+///
+/// Architecture (DESIGN.md §10): every worker owns a complete private
+/// race_detector — its own reachability-graph replica and a shadow memory
+/// clipped to the address chunks it owns (shard.hpp). Graph events (spawn,
+/// end, finish, get, put) are broadcast to every ring; access events are
+/// routed to exactly one worker by address. Because a mutation rides in the
+/// same FIFO as the accesses it orders, a worker can never check an access
+/// against a graph state other than the one the serial execution had — per
+/// -ring FIFO order *is* the epoch barrier, with no coordinator thread and
+/// no shared mutable detector state.
+///
+/// Determinism: per-location verdicts are exactly the inline detector's
+/// (one worker sees all accesses of a location, in serial order, against
+/// the correct graph), merged reports reproduce the inline report sequence
+/// (workers tag reports with the serial event number; a deterministic merge
+/// reorders them), and the paper-level counters of Table 2 are exact sums /
+/// maxima over shards. Engine-tier diagnostics (direct/hashed/stamp hit
+/// counts and the like) are layout-dependent and only comparable between
+/// runs of the same configuration.
+///
+/// Failure model: a full ring means backpressure (the producer spins),
+/// never allocation or drops. A checker worker that dies mid-run (fault
+/// injection, thread-start failure) degrades the pipeline to inline
+/// checking for that shard — sticky and counted, never a deadlock or a
+/// lost event. options::fail_fast forces inline mode outright: the first
+/// race must throw at the faulting access on the execution thread.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/detect/shard.hpp"
+#include "futrace/runtime/observer.hpp"
+
+namespace futrace::detect {
+
+/// Pipeline-plumbing counters (reported next to detector_counters; these
+/// are timing/address-dependent diagnostics, never equality-gated across
+/// configurations).
+struct pipeline_stats {
+  std::uint64_t workers = 0;        // checker threads actually started
+  std::uint64_t ring_capacity = 0;  // slots per ring (rounded to pow2)
+  std::uint64_t events = 0;         // serial observer events streamed
+  std::uint64_t access_events = 0;  // subset routed by address
+  /// Extra sub-events minted when a range access straddled chunk owners.
+  std::uint64_t split_subevents = 0;
+  /// Producer spins while a ring was full (the backpressure path).
+  std::uint64_t backpressure_waits = 0;
+  /// Ring fill-level sampling (every 64th push), for the Pipe% column.
+  std::uint64_t occupancy_samples = 0;
+  std::uint64_t occupancy_sum = 0;
+  /// Events applied inline on the execution thread after a worker died or
+  /// the pipeline could not be constructed. Sticky degradation, not an
+  /// error: verdicts stay exact, overlap is lost for the affected shard.
+  std::uint64_t inline_fallbacks = 0;
+  std::uint64_t workers_died = 0;
+
+  /// Mean sampled ring occupancy as a percentage of capacity.
+  double occupancy_pct() const noexcept {
+    if (occupancy_samples == 0 || ring_capacity == 0) return 0.0;
+    return 100.0 * static_cast<double>(occupancy_sum) /
+           (static_cast<double>(occupancy_samples) *
+            static_cast<double>(ring_capacity));
+  }
+};
+
+/// Drop-in replacement for attaching a race_detector directly: construct
+/// with options whose detect_threads selects inline (0) or pipelined (N)
+/// checking, attach to the runtime, query results after run(). Queries
+/// finalize the pipeline (join workers, merge shards) on first use.
+class pipelined_detector final : public execution_observer {
+ public:
+  struct tuning {
+    /// Slots per worker ring (rounded up to a power of two). 16Ki slots =
+    /// 1 MiB per ring: deep enough to absorb checker hiccups, small enough
+    /// to stay resident in L2/L3.
+    std::size_t ring_capacity = std::size_t{1} << 14;
+    /// log2 of the address-chunk size dealt round-robin to workers.
+    unsigned chunk_shift = k_default_chunk_shift;
+  };
+
+  explicit pipelined_detector(race_detector::options opts);
+  pipelined_detector(race_detector::options opts, tuning tune);
+  ~pipelined_detector() override;
+
+  pipelined_detector(const pipelined_detector&) = delete;
+  pipelined_detector& operator=(const pipelined_detector&) = delete;
+  pipelined_detector(pipelined_detector&&) noexcept;
+  pipelined_detector& operator=(pipelined_detector&&) noexcept;
+
+  // -- execution_observer ----------------------------------------------------
+  void on_program_start(task_id root) override;
+  void on_task_spawn(task_id parent, task_id child, task_kind kind) override;
+  void on_task_end(task_id t) override;
+  void on_finish_end(task_id owner, std::span<const task_id> joined) override;
+  void on_get(task_id waiter, task_id target) override;
+  void on_promise_put(task_id fulfiller) override;
+  void on_read(task_id t, const void* addr, std::size_t size,
+               access_site site) override;
+  void on_write(task_id t, const void* addr, std::size_t size,
+                access_site site) override;
+  void on_read_range(task_id t, const void* addr, std::size_t count,
+                     std::size_t stride, access_site site) override;
+  void on_write_range(task_id t, const void* addr, std::size_t count,
+                      std::size_t stride, access_site site) override;
+  void on_program_end() override;
+
+  // -- results (mirror race_detector's query surface) -------------------------
+  bool race_detected() const;
+  std::uint64_t race_count() const;
+  bool degraded() const;
+  const std::vector<race_report>& reports() const;
+  std::vector<const void*> racy_locations() const;
+  detector_counters counters() const;
+  std::size_t memory_bytes() const;
+  const pipeline_stats& pipe_stats() const;
+
+  /// True when events are being streamed to checker threads (false in
+  /// inline mode: detect_threads == 0, fail_fast, or a refused ring
+  /// allocation at construction).
+  bool pipelined() const;
+
+ private:
+  struct impl;
+  std::unique_ptr<impl> impl_;
+};
+
+}  // namespace futrace::detect

@@ -126,10 +126,38 @@ class race_detector final : public execution_observer {
     /// way. The native path needs the slab tier, so it engages only when
     /// enable_fastpath is also on.
     bool enable_range_checks = true;
+    /// Number of pipelined checker workers (pipeline.hpp). 0 — the default —
+    /// means inline checking on the execution thread; N >= 1 streams events
+    /// to N address-sharded workers. race_detector itself ignores the field
+    /// (it is always a single-threaded checker); pipelined_detector reads it
+    /// to decide between forwarding inline and spinning up the pipeline.
+    unsigned detect_threads = 0;
   };
 
   race_detector();
   explicit race_detector(options opts);
+
+  // -- pipelined-worker configuration (pipeline.hpp) --------------------------
+  /// Promises that every scalar on_read/on_write address is already the
+  /// canonical element base with size == stride (the pipelined producer runs
+  /// span_of before routing), so the worker-side detector skips the span
+  /// decomposition entirely. Off by default: the inline detector must
+  /// canonicalize for itself.
+  void set_assume_canonical(bool on) noexcept { assume_canonical_ = on; }
+
+  /// Restricts this detector's shadow memory to the addresses one pipelined
+  /// worker owns (shard.hpp); forwards to shadow_memory::set_shard. Must be
+  /// called before the first access event.
+  void configure_shard(unsigned chunk_shift, std::size_t index,
+                       std::size_t count) noexcept {
+    shadow_.set_shard(chunk_shift, index, count);
+  }
+
+  /// The exact #AvgReaders numerator (sample sum), so per-shard averages
+  /// merge without rounding: avg = sum(samples) / sum(accesses).
+  std::uint64_t reader_samples() const noexcept {
+    return shadow_.reader_samples();
+  }
 
   // -- execution_observer ----------------------------------------------------
   void on_program_start(task_id root) override;
@@ -252,6 +280,7 @@ class race_detector final : public execution_observer {
   std::uint64_t summary_hits_ = 0;
   bool stamp_enabled_ = true;
   bool range_enabled_ = true;
+  bool assume_canonical_ = false;  // pipelined worker mode: skip span_of
   /// Set when the task cap (or an injected node-allocation failure) fires:
   /// tasks past this point have no graph vertex, so every reachability
   /// query — and with it all race checking — stops. Scalar counters and

@@ -40,6 +40,7 @@
 #include "futrace/runtime/shared_regions.hpp"
 #include "futrace/support/alloc_gate.hpp"
 #include "futrace/support/ptr_map.hpp"
+#include "futrace/support/small_vector.hpp"
 
 namespace futrace::detect {
 
@@ -162,6 +163,7 @@ static_assert(sizeof(shadow_cell) <= 32);
 struct shadow_stats {
   std::uint64_t direct_hits = 0;   // accesses served by a slab
   std::uint64_t hashed_hits = 0;   // accesses served by the ptr_map
+  std::uint64_t mru_hits = 0;      // hashed hits served by the one-slot MRU
   std::uint64_t slabs_built = 0;   // registered ranges direct-mapped
   std::uint64_t slab_fallbacks = 0;   // ranges kept on the hashed path
   std::uint64_t rejected_overlaps = 0;  // ranges colliding with a live slab
@@ -251,8 +253,13 @@ class shadow_memory {
       readers_sampled_ += cell->reader_count();
       return *cell;
     }
+    if (shadow_cell* cell = hashed_mru(addr)) {
+      readers_sampled_ += cell->reader_count();
+      return *cell;
+    }
     shadow_cell& cell = cells_[addr];
     ++stats_.hashed_hits;
+    note_hashed_cell(addr, &cell);
     readers_sampled_ += cell.reader_count();
     return cell;
   }
@@ -268,6 +275,22 @@ class shadow_memory {
   /// Enables/disables the direct-mapped slab tier (on by default). The
   /// detector turns it off in --no-fastpath differential-debugging runs.
   void set_direct_mapped(bool enabled) noexcept { direct_enabled_ = enabled; }
+
+  /// Restricts this shadow instance to the addresses one pipelined checker
+  /// worker owns (shard.hpp's chunk rule): registered regions are clipped to
+  /// the owned chunks, producing one slab per owned chunk-intersection
+  /// instead of one slab per region. The sharded producer routes every
+  /// access to its owner, so cells for unowned addresses are simply never
+  /// materialized — and a per-chunk range sub-event that covers a whole
+  /// clipped slab still collapses into a run summary, keeping the O(1)
+  /// re-sweep tier alive under sharding. Must be set before the first
+  /// access; `count <= 1` means no clipping (the inline layout).
+  void set_shard(unsigned chunk_shift, std::size_t index,
+                 std::size_t count) noexcept {
+    shard_shift_ = chunk_shift;
+    shard_index_ = index;
+    shard_count_ = count;
+  }
 
   /// Pre-sizes the hashed table for `expected_locations` entries (the
   /// --shadow-hint flag / workload hint), avoiding rehash storms
@@ -300,8 +323,13 @@ class shadow_memory {
       readers_sampled_ += cell->reader_count();
       return cell;
     }
+    if (shadow_cell* cell = hashed_mru(addr)) {
+      readers_sampled_ += cell->reader_count();
+      return cell;
+    }
     if (shadow_cell* cell = cells_.find(addr)) {
       ++stats_.hashed_hits;
+      note_hashed_cell(addr, cell);
       readers_sampled_ += cell->reader_count();
       return cell;
     }
@@ -311,7 +339,9 @@ class shadow_memory {
           slab_bytes_ + cells_.bytes_after_insert() > max_bytes_;
       if (!over_cap && !support::alloc_should_fail(sizeof(shadow_cell))) {
         ++stats_.hashed_hits;
-        return &cells_[addr];
+        shadow_cell* cell = &cells_[addr];
+        note_hashed_cell(addr, cell);
+        return cell;
       }
       degraded_ = true;
     }
@@ -343,6 +373,10 @@ class shadow_memory {
   /// Adds `n` to the #AvgReaders sample sum (range paths sample readers in
   /// bulk instead of once per access()).
   void add_reader_samples(std::uint64_t n) noexcept { readers_sampled_ += n; }
+
+  /// The #AvgReaders numerator. Exposed exactly (not via the avg double) so
+  /// the pipelined detector can merge per-shard averages without rounding.
+  std::uint64_t reader_samples() const noexcept { return readers_sampled_; }
 
   /// Resolves a range access of `count` elements of `stride` bytes starting
   /// at `addr` against the slab tier. Succeeds only when the whole run lives
@@ -507,6 +541,31 @@ class shadow_memory {
   }
 
  private:
+  /// One-slot MRU over the hashed tier: bulk workloads re-touch the same
+  /// scalar location in bursts, and a hit skips the whole probe sequence.
+  /// The cached pointer dangles whenever the map erases (backshift deletion
+  /// moves *other* entries, not only the erased key — see ptr_map::erase) or
+  /// rehashes, so: every erase clears the slot, and every hashed
+  /// access/insert refreshes it with a pointer obtained *after* any growth.
+  shadow_cell* hashed_mru(const void* addr) noexcept {
+    if (addr == mru_addr_ && mru_cell_ != nullptr) {
+      ++stats_.hashed_hits;
+      ++stats_.mru_hits;
+      return mru_cell_;
+    }
+    return nullptr;
+  }
+
+  void note_hashed_cell(const void* addr, shadow_cell* cell) noexcept {
+    mru_addr_ = addr;
+    mru_cell_ = cell;
+  }
+
+  void invalidate_hashed_mru() noexcept {
+    mru_addr_ = nullptr;
+    mru_cell_ = nullptr;
+  }
+
   void sync_if_stale() {
     if (region_version_seen_ != detail::shared_region_version())
         [[unlikely]] {
@@ -608,42 +667,78 @@ class shadow_memory {
     }
     std::uint32_t shift = 0;
     while ((1u << shift) != reg.stride) ++shift;
-    const std::size_t n_cells =
-        static_cast<std::size_t>(reg.end - reg.base) >> shift;
-    const std::size_t bytes = n_cells * sizeof(shadow_cell);
+    // In shard mode the region is clipped to the chunks this instance owns:
+    // one run of consecutively owned cells per chunk-intersection, each run
+    // becoming its own slab. A cell is owned by the chunk containing its
+    // base address (the element may straddle into the next chunk), which is
+    // exactly the producer's routing rule, so every cell the router sends
+    // here has a slab and no unowned cell ever materializes.
+    struct cell_run {
+      std::uintptr_t base;
+      std::uintptr_t end;
+    };
+    support::small_vector<cell_run, 8> runs;
+    if (shard_count_ <= 1) {
+      runs.push_back({reg.base, reg.end});
+    } else {
+      const std::uintptr_t chunk = std::uintptr_t{1} << shard_shift_;
+      for (std::uintptr_t c = reg.base & ~(chunk - 1); c < reg.end;
+           c += chunk) {
+        if (((c >> shard_shift_) % shard_count_) != shard_index_) continue;
+        // Cells whose base lies in [c, c + chunk) ∩ [reg.base, reg.end).
+        const std::uintptr_t lo = std::max(c, reg.base);
+        const std::uintptr_t hi = std::min(c + chunk, reg.end);
+        const std::uintptr_t first =
+            reg.base + (lo - reg.base + reg.stride - 1) / reg.stride *
+                           reg.stride;
+        const std::uintptr_t last =
+            reg.base + (hi - reg.base + reg.stride - 1) / reg.stride *
+                           reg.stride;
+        if (first < last) runs.push_back({first, last});
+      }
+      if (runs.empty()) return;  // nothing owned; not a fallback
+    }
+    std::size_t total_bytes = 0;
+    for (const auto& [run_base, run_end] : runs) {
+      total_bytes += (static_cast<std::size_t>(run_end - run_base) >> shift) *
+                     sizeof(shadow_cell);
+    }
     if (max_bytes_ != 0 &&
-        slab_bytes_ + bytes + cells_.table_bytes() > max_bytes_) {
+        slab_bytes_ + total_bytes + cells_.table_bytes() > max_bytes_) {
       ++stats_.slab_fallbacks;
       return;
     }
-    if (support::alloc_should_fail(bytes)) {
+    if (support::alloc_should_fail(total_bytes)) {
       ++stats_.slab_fallbacks;
       return;
     }
-    direct_range r;
-    r.base = reg.base;
-    r.end = reg.end;
-    r.shift = shift;
-    std::size_t inserted_at = 0;
-    try {
-      r.cells.resize(n_cells);
-      // Keep the list sorted by base so direct_find can binary-search;
-      // overlap rejection above guarantees the order is total.
-      const auto pos = std::upper_bound(
-          ranges_.begin(), ranges_.end(), r.base,
-          [](std::uintptr_t key, const direct_range& existing) {
-            return key < existing.base;
-          });
-      const auto ins = ranges_.insert(pos, std::move(r));
-      inserted_at = static_cast<std::size_t>(ins - ranges_.begin());
-    } catch (...) {
-      ++stats_.slab_fallbacks;
-      return;
+    for (const auto& [run_base, run_end] : runs) {
+      direct_range r;
+      r.base = run_base;
+      r.end = run_end;
+      r.shift = shift;
+      std::size_t inserted_at = 0;
+      try {
+        r.cells.resize(static_cast<std::size_t>(run_end - run_base) >> shift);
+        // Keep the list sorted by base so direct_find can binary-search;
+        // overlap rejection above guarantees the order is total.
+        const auto pos = std::upper_bound(
+            ranges_.begin(), ranges_.end(), r.base,
+            [](std::uintptr_t key, const direct_range& existing) {
+              return key < existing.base;
+            });
+        const auto ins = ranges_.insert(pos, std::move(r));
+        inserted_at = static_cast<std::size_t>(ins - ranges_.begin());
+      } catch (...) {
+        ++stats_.slab_fallbacks;
+        return;
+      }
+      mru_range_ = inserted_at;
+      slab_bytes_ +=
+          ranges_[inserted_at].cells.size() * sizeof(shadow_cell);
+      migrate_into_slab(ranges_[inserted_at]);
     }
-    mru_range_ = inserted_at;
-    slab_bytes_ += bytes;
     ++stats_.slabs_built;
-    migrate_into_slab(ranges_[inserted_at]);
   }
 
   /// Moves cells the hashed tier already materialized for in-range
@@ -664,6 +759,9 @@ class shadow_memory {
       cells_.erase(addr);
       ++stats_.migrated_cells;
     }
+    // Backshift deletion relocates entries *other* than the erased keys, so
+    // the MRU pointer may dangle even for an address that was never in range.
+    if (!in_range.empty()) invalidate_hashed_mru();
   }
 
   support::ptr_map<shadow_cell> cells_;
@@ -673,6 +771,11 @@ class shadow_memory {
   bool geoms_aligned_ = true;  // all strides pow2, all bases stride-aligned
   std::unordered_set<std::uint64_t> mirrored_regions_;
   std::size_t mru_range_ = 0;
+  const void* mru_addr_ = nullptr;     // one-slot hashed-tier MRU
+  shadow_cell* mru_cell_ = nullptr;
+  unsigned shard_shift_ = 0;           // set_shard(): chunk size log2
+  std::size_t shard_index_ = 0;
+  std::size_t shard_count_ = 1;        // 1 = unsharded (inline layout)
   std::uint64_t region_version_seen_ = 0;
   std::size_t slab_bytes_ = 0;
   bool direct_enabled_ = true;

@@ -49,10 +49,13 @@ class fault_injector {
     std::uint64_t failed_allocs = 0;
     std::uint64_t forced_yields = 0;
     std::uint64_t perturbed_steals = 0;
+    std::uint64_t pipe_stalls = 0;
+    std::uint64_t pipe_kills = 0;
+    std::uint64_t pipe_forced_fulls = 0;
 
     std::uint64_t faults_fired() const noexcept {
       return thrown_spawn + thrown_get + thrown_put + dropped_puts +
-             failed_allocs;
+             failed_allocs + pipe_stalls + pipe_kills + pipe_forced_fulls;
     }
   };
 
@@ -67,6 +70,12 @@ class fault_injector {
   std::uint32_t steal_start(std::uint32_t self, std::uint32_t workers,
                             std::uint32_t fallback) noexcept;
   bool force_yield() noexcept;
+  /// Pipeline checker-worker action for the next event: pipe_proceed,
+  /// pipe_stall (sleep briefly, then process), or pipe_kill (exit without
+  /// draining). Ordinals count events process-wide across all workers.
+  int pipe_worker_event() noexcept;
+  /// Forced backpressure spins for this producer push (0 = none).
+  std::uint32_t pipe_ring_full() noexcept;
 
  private:
   fault_plan plan_;
@@ -83,7 +92,17 @@ class fault_injector {
   std::atomic<std::uint64_t> failed_allocs_{0};
   std::atomic<std::uint64_t> forced_yields_{0};
   std::atomic<std::uint64_t> perturbed_steals_{0};
+  std::atomic<std::uint64_t> pipe_events_{0};  // worker-side event ordinal
+  std::atomic<std::uint64_t> pipe_pushes_{0};  // producer-side push ordinal
+  std::atomic<std::uint64_t> pipe_stalls_{0};
+  std::atomic<std::uint64_t> pipe_kills_{0};
+  std::atomic<std::uint64_t> pipe_forced_fulls_{0};
 };
+
+/// pipe_worker_event() verdicts.
+inline constexpr int pipe_proceed = 0;
+inline constexpr int pipe_stall = 1;
+inline constexpr int pipe_kill = 2;
 
 /// Installs `inj` as the process-wide injector (and wires the support
 /// allocation gate to it) for the guard's lifetime. Not reentrant: at most

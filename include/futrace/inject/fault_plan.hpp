@@ -50,11 +50,26 @@ struct fault_plan {
   /// Force a yield before every Nth help/steal attempt; 0 disables.
   std::uint32_t yield_every = 0;
 
+  // -- Pipelined-detector faults (detect/pipeline.hpp) -----------------------
+  /// Stall the checker worker about to process the Nth pipeline event (a
+  /// finite sleep), backing events up into its ring so the producer hits
+  /// backpressure.
+  std::uint64_t pipe_stall_at = 0;
+  /// Kill the checker worker about to process the Nth pipeline event: the
+  /// worker exits without draining its ring; the producer must detect the
+  /// death and degrade that shard to inline checking.
+  std::uint64_t pipe_kill_at = 0;
+  /// Starting at the Nth producer-side ring push, pretend the ring is full
+  /// for pipe_ring_full_spins backpressure spins before proceeding.
+  std::uint64_t pipe_ring_full_at = 0;
+  std::uint32_t pipe_ring_full_spins = 0;
+
   /// True iff any trigger is armed.
   bool any() const noexcept {
     return throw_at_spawn != 0 || throw_at_get != 0 || throw_at_put != 0 ||
            drop_put_at != 0 || fail_alloc_at != 0 || perturb_steals ||
-           yield_every != 0;
+           yield_every != 0 || pipe_stall_at != 0 || pipe_kill_at != 0 ||
+           pipe_ring_full_at != 0;
   }
 
   /// Human-readable one-line summary ("spawn-throw@3 yield-every=7 ...").

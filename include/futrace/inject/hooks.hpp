@@ -30,6 +30,8 @@ std::uint32_t steal_start_slow(fault_injector& inj, std::uint32_t self,
                                std::uint32_t workers,
                                std::uint32_t fallback) noexcept;
 bool yield_slow(fault_injector& inj) noexcept;
+int pipe_worker_slow(fault_injector& inj) noexcept;
+std::uint32_t pipe_ring_full_slow(fault_injector& inj) noexcept;
 
 }  // namespace detail
 
@@ -80,6 +82,21 @@ inline std::uint32_t steal_start_site(std::uint32_t self,
 inline bool yield_site() noexcept {
   fault_injector* inj = current_injector();
   return inj != nullptr && detail::yield_slow(*inj);
+}
+
+/// Fired by a pipelined-detector checker worker before processing each
+/// event. Returns inject::pipe_proceed / pipe_stall / pipe_kill.
+inline int pipe_worker_site() noexcept {
+  fault_injector* inj = current_injector();
+  return inj == nullptr ? 0 : detail::pipe_worker_slow(*inj);
+}
+
+/// Fired by the pipelined-detector producer before each ring push; a
+/// nonzero return forces that many backpressure spins even though the ring
+/// has space.
+inline std::uint32_t pipe_ring_full_site() noexcept {
+  fault_injector* inj = current_injector();
+  return inj == nullptr ? 0 : detail::pipe_ring_full_slow(*inj);
 }
 
 }  // namespace futrace::inject

@@ -1,0 +1,142 @@
+#pragma once
+
+/// \file spsc_ring.hpp
+/// Bounded single-producer single-consumer ring buffer. The pipelined race
+/// detector streams fixed-size event slots from the execution thread to each
+/// checker worker through one of these; the design goals are the classic
+/// ones for that shape:
+///
+///   - Bounded and allocation-free after construction: a full ring means
+///     backpressure (the producer spins), never growth, so the detection
+///     pipeline cannot allocate on the instrumented program's hot path.
+///   - Batched publish/consume: the producer writes any number of slots and
+///     publishes them with one release store; the consumer observes a whole
+///     batch with one acquire load and retires it with one release store.
+///   - No sharing beyond the two indices. Head and tail live on their own
+///     cache lines, and each side keeps a cached copy of the opposite index
+///     so the common case (space available / data available) re-reads its
+///     own cache line only.
+///
+/// Indices are free-running 64-bit counters masked on access, so fullness is
+/// `tail - head == capacity` with no reserved slot and no wraparound
+/// ambiguity within any realistic execution.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "futrace/support/assert.hpp"
+
+namespace futrace::support {
+
+template <typename T>
+class spsc_ring {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2) and allocated
+  /// eagerly — the only allocation this class ever performs.
+  explicit spsc_ring(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  spsc_ring(const spsc_ring&) = delete;
+  spsc_ring& operator=(const spsc_ring&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  // -- Producer side ---------------------------------------------------------
+
+  /// Slots the producer may write right now. Refreshes the cached consumer
+  /// index only when the cached view looks full, so a streaming producer
+  /// pays one relaxed load of its own tail per call.
+  std::size_t free_slots() noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity()) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+    }
+    return capacity() - static_cast<std::size_t>(tail - head_cache_);
+  }
+
+  /// Like free_slots(), but always refreshes the cached consumer index —
+  /// for a producer spinning until a multi-slot event fits. The lazy rule
+  /// above only triggers on a completely-full view, so a stale view showing
+  /// 0 < free < need would never refresh and the wait would never observe
+  /// the consumer's progress (a livelock, not just staleness).
+  std::size_t free_slots_refresh() noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    head_cache_ = head_.load(std::memory_order_acquire);
+    return capacity() - static_cast<std::size_t>(tail - head_cache_);
+  }
+
+  /// The i-th unpublished slot past the current tail. Valid for
+  /// i < free_slots(); contents become visible to the consumer only after
+  /// publish().
+  T& produce_slot(std::size_t i) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    return slots_[static_cast<std::size_t>(tail + i) & mask_];
+  }
+
+  /// Publishes the first `n` written slots (release: the consumer's
+  /// matching acquire sees their contents fully written).
+  void publish(std::size_t n) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    FUTRACE_DCHECK(tail - head_cache_ + n <= capacity());
+    tail_.store(tail + n, std::memory_order_release);
+  }
+
+  // -- Consumer side ---------------------------------------------------------
+
+  /// Slots ready to read. Refreshes the cached producer index only when the
+  /// cached view looks empty.
+  std::size_t readable() noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_cache_ == head) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+    }
+    return static_cast<std::size_t>(tail_cache_ - head);
+  }
+
+  /// Like readable(), but always refreshes the cached producer index — for
+  /// a consumer waiting on the remaining slots of a multi-slot event whose
+  /// prefix is already visible (the cached view is nonempty, so readable()
+  /// would never refresh and the wait would never observe progress).
+  std::size_t readable_refresh() noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    tail_cache_ = tail_.load(std::memory_order_acquire);
+    return static_cast<std::size_t>(tail_cache_ - head);
+  }
+
+  /// The i-th readable slot. Valid for i < readable().
+  const T& consume_slot(std::size_t i) const noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    return slots_[static_cast<std::size_t>(head + i) & mask_];
+  }
+
+  /// Retires the first `n` readable slots (release: the producer's matching
+  /// acquire knows it may overwrite them).
+  void pop(std::size_t n) noexcept {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    FUTRACE_DCHECK(n <= tail_cache_ - head);
+    head_.store(head + n, std::memory_order_release);
+  }
+
+  /// Producer-side fill level (diagnostic; the occupancy column of the
+  /// pipelined bench). Exact for the producer, a snapshot for anyone else.
+  std::size_t size_approx() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
+                                    head_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer-owned
+  alignas(64) std::uint64_t tail_cache_ = 0;        // consumer's view of tail
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer-owned
+  alignas(64) std::uint64_t head_cache_ = 0;        // producer's view of head
+};
+
+}  // namespace futrace::support

@@ -227,15 +227,18 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t size,
   // covers every underlying shadow cell, not only the one at `addr` (a
   // single-cell check silently under-checks straddling accesses). Applies
   // with or without the fast path — span_of follows the registered element
-  // geometry, not the slab tier.
-  const shadow_memory::access_span span = shadow_.span_of(addr, size);
-  if (span.count > 1) [[unlikely]] {
-    on_read_range(t, span.first, span.count, span.stride, site);
-    return;
+  // geometry, not the slab tier. Pipelined workers skip it: the producer
+  // already decomposed and canonicalized before routing.
+  if (!assume_canonical_) {
+    const shadow_memory::access_span span = shadow_.span_of(addr, size);
+    if (span.count > 1) [[unlikely]] {
+      on_read_range(t, span.first, span.count, span.stride, site);
+      return;
+    }
+    // span.first is the canonical element base (== addr unless the access
+    // lands mid-element), so all shadow tiers key the same location.
+    addr = span.first;
   }
-  // span.first is the canonical element base (== addr unless the access
-  // lands mid-element), so all shadow tiers key the same location.
-  addr = span.first;
   // Algorithm 9, with the add-rule read as intended (see DESIGN.md §5): the
   // reader is recorded unless a surviving parallel *async* reader already
   // covers an async reader (Lemma 4); future readers are always recorded.
@@ -252,12 +255,14 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t size,
 
 void race_detector::on_write(task_id t, const void* addr, std::size_t size,
                              access_site site) {
-  const shadow_memory::access_span span = shadow_.span_of(addr, size);
-  if (span.count > 1) [[unlikely]] {
-    on_write_range(t, span.first, span.count, span.stride, site);
-    return;
+  if (!assume_canonical_) {
+    const shadow_memory::access_span span = shadow_.span_of(addr, size);
+    if (span.count > 1) [[unlikely]] {
+      on_write_range(t, span.first, span.count, span.stride, site);
+      return;
+    }
+    addr = span.first;
   }
-  addr = span.first;
   // Algorithm 8: check every stored reader and the previous writer; readers
   // that precede the write retire, racing readers stay recorded.
   ++writes_;

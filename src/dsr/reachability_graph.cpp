@@ -97,10 +97,24 @@ void reachability_graph::on_finish_join(task_id owner, task_id joined) {
 }
 
 task_id reachability_graph::find(task_id t) {
-  // Iterative path halving over the dense parent array.
-  while (uf_parent_[t] != t) {
-    uf_parent_[t] = uf_parent_[uf_parent_[t]];
-    t = uf_parent_[t];
+  // Iterative path halving over the dense parent array. Written so each hop
+  // loads each parent slot exactly once: the straightforward
+  //   uf_parent_[t] = uf_parent_[uf_parent_[t]]; t = uf_parent_[t];
+  // form re-loads uf_parent_[t] after the store (three loads per hop, and
+  // the compiler cannot fold them because the store may alias); keeping
+  // parent and grandparent in registers does the halving write and the
+  // advance from values already in hand (two loads per hop). Every PRECEDE
+  // query funnels through two find()s, so the loop body is the hottest few
+  // instructions in the detector — BM_PrecedeDeepChain pins its behaviour
+  // on long chains.
+  task_id* const parent = uf_parent_.data();
+  task_id p = parent[t];
+  while (p != t) {
+    const task_id gp = parent[p];
+    if (gp == p) return p;
+    parent[t] = gp;  // halve: t now points at its grandparent
+    t = gp;
+    p = parent[gp];
   }
   return t;
 }

@@ -25,6 +25,14 @@ std::uint32_t steal_start_slow(fault_injector& inj, std::uint32_t self,
 
 bool yield_slow(fault_injector& inj) noexcept { return inj.force_yield(); }
 
+int pipe_worker_slow(fault_injector& inj) noexcept {
+  return inj.pipe_worker_event();
+}
+
+std::uint32_t pipe_ring_full_slow(fault_injector& inj) noexcept {
+  return inj.pipe_ring_full();
+}
+
 }  // namespace detail
 
 namespace {
@@ -59,6 +67,9 @@ fault_injector::counters fault_injector::snapshot() const noexcept {
   c.failed_allocs = failed_allocs_.load(std::memory_order_relaxed);
   c.forced_yields = forced_yields_.load(std::memory_order_relaxed);
   c.perturbed_steals = perturbed_steals_.load(std::memory_order_relaxed);
+  c.pipe_stalls = pipe_stalls_.load(std::memory_order_relaxed);
+  c.pipe_kills = pipe_kills_.load(std::memory_order_relaxed);
+  c.pipe_forced_fulls = pipe_forced_fulls_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -116,6 +127,30 @@ std::uint32_t fault_injector::steal_start(std::uint32_t self,
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   perturbed_steals_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<std::uint32_t>((z ^ (z >> 31)) % workers);
+}
+
+int fault_injector::pipe_worker_event() noexcept {
+  if (plan_.pipe_stall_at == 0 && plan_.pipe_kill_at == 0) return pipe_proceed;
+  const std::uint64_t n =
+      pipe_events_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (plan_.pipe_kill_at != 0 && n == plan_.pipe_kill_at) {
+    pipe_kills_.fetch_add(1, std::memory_order_relaxed);
+    return pipe_kill;
+  }
+  if (plan_.pipe_stall_at != 0 && n == plan_.pipe_stall_at) {
+    pipe_stalls_.fetch_add(1, std::memory_order_relaxed);
+    return pipe_stall;
+  }
+  return pipe_proceed;
+}
+
+std::uint32_t fault_injector::pipe_ring_full() noexcept {
+  if (plan_.pipe_ring_full_at == 0) return 0;
+  const std::uint64_t n =
+      pipe_pushes_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n != plan_.pipe_ring_full_at) return 0;
+  pipe_forced_fulls_.fetch_add(1, std::memory_order_relaxed);
+  return plan_.pipe_ring_full_spins == 0 ? 64 : plan_.pipe_ring_full_spins;
 }
 
 bool fault_injector::force_yield() noexcept {

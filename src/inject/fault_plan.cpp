@@ -17,6 +17,12 @@ std::string fault_plan::describe() const {
   }
   if (perturb_steals) out << "perturb-steals(seed=" << seed << ") ";
   if (yield_every != 0) out << "yield-every=" << yield_every << " ";
+  if (pipe_stall_at != 0) out << "pipe-stall@" << pipe_stall_at << " ";
+  if (pipe_kill_at != 0) out << "pipe-kill@" << pipe_kill_at << " ";
+  if (pipe_ring_full_at != 0) {
+    out << "pipe-ring-full@" << pipe_ring_full_at << "x"
+        << pipe_ring_full_spins << " ";
+  }
   std::string s = out.str();
   if (s.empty()) return "no-faults";
   s.pop_back();  // trailing space
@@ -41,6 +47,14 @@ void define_fault_flags(support::flag_parser& flags) {
                "perturb the parallel engine's steal-victim order");
   flags.define("fault-yield-every", "0",
                "force a yield before every Nth steal attempt (0 = off)");
+  flags.define("fault-pipe-stall", "0",
+               "stall the checker worker at the Nth pipeline event (0 = off)");
+  flags.define("fault-pipe-kill", "0",
+               "kill the checker worker at the Nth pipeline event (0 = off)");
+  flags.define("fault-pipe-ring-full", "0",
+               "force ring-full backpressure at the Nth push (0 = off)");
+  flags.define("fault-pipe-ring-spins", "64",
+               "backpressure spins forced by --fault-pipe-ring-full");
 }
 
 fault_plan fault_plan_from_flags(const support::flag_parser& flags) {
@@ -59,6 +73,14 @@ fault_plan fault_plan_from_flags(const support::flag_parser& flags) {
   plan.perturb_steals = flags.get_bool("fault-perturb-steals");
   plan.yield_every =
       static_cast<std::uint32_t>(flags.get_int("fault-yield-every"));
+  plan.pipe_stall_at =
+      static_cast<std::uint64_t>(flags.get_int("fault-pipe-stall"));
+  plan.pipe_kill_at =
+      static_cast<std::uint64_t>(flags.get_int("fault-pipe-kill"));
+  plan.pipe_ring_full_at =
+      static_cast<std::uint64_t>(flags.get_int("fault-pipe-ring-full"));
+  plan.pipe_ring_full_spins =
+      static_cast<std::uint32_t>(flags.get_int("fault-pipe-ring-spins"));
   return plan;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "futrace/detect/shadow_memory.hpp"
+#include "futrace/detect/shard.hpp"
 
 namespace futrace::detect {
 namespace {
@@ -350,6 +351,130 @@ TEST(ShadowCell, OverflowAllocationRefusalDropsReader) {
   EXPECT_TRUE(cell.add_reader(reader_entry{3, 0}));
   EXPECT_EQ(cell.reader_count(), 2u);
   delete cell.overflow;
+}
+
+// ------------------------------------------------------- hashed-tier MRU slot
+
+TEST(HashedMru, RepeatAccessServedFromMruSlot) {
+  shadow_memory shadow;
+  int scalar = 0;
+  shadow_cell* first = shadow.try_access(&scalar);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(shadow.stats().mru_hits, 0u);  // cold: full probe + insert
+  shadow_cell* again = shadow.try_access(&scalar);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(shadow.stats().mru_hits, 1u);
+  // A different address misses the MRU and repoints it.
+  int other = 0;
+  shadow.try_access(&other);
+  EXPECT_EQ(shadow.stats().mru_hits, 1u);
+  shadow.try_access(&other);
+  EXPECT_EQ(shadow.stats().mru_hits, 2u);
+}
+
+TEST(HashedMru, AccessVariantAlsoUsesMru) {
+  shadow_memory shadow;
+  int scalar = 0;
+  shadow.access(&scalar).writer = 42;
+  EXPECT_EQ(shadow.access(&scalar).writer, 42u);
+  EXPECT_GE(shadow.stats().mru_hits, 1u);
+}
+
+// Regression: migrate_into_slab erases migrated keys from the hashed map,
+// and ptr_map's backshift deletion relocates *other* entries — including,
+// possibly, the cell the MRU slot points at. The erase must invalidate the
+// MRU, or the next access to the cached address reads a dangling pointer.
+TEST(HashedMru, InvalidatedWhenMigrationErasesHashedCells) {
+  std::vector<int> buf(32);
+  shadow_memory shadow;
+  int scalar = 0;
+  // Populate the hashed tier: array cells (pre-registration) plus a scalar.
+  shadow.try_access(&buf[3])->writer = 3;
+  shadow.try_access(&buf[9])->writer = 9;
+  shadow.try_access(&scalar)->writer = 77;  // MRU now caches the scalar cell
+
+  region_guard reg(buf.data(), buf.size() * sizeof(int), sizeof(int));
+  ASSERT_TRUE(reg.ok_);
+  // First in-range access builds the slab and erases the two migrated keys
+  // from the hashed map (backshift may relocate the scalar's cell).
+  EXPECT_EQ(shadow.try_access(&buf[3])->writer, 3u);
+  EXPECT_EQ(shadow.stats().migrated_cells, 2u);
+
+  // The scalar's shadow state must be found through a fresh lookup, not a
+  // cached pointer into the pre-erase table layout.
+  shadow_cell* cell = shadow.try_access(&scalar);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->writer, 77u);
+  EXPECT_EQ(shadow.try_access(&buf[9])->writer, 9u);
+}
+
+TEST(HashedMru, TableGrowthRefreshesBeforeNextHit) {
+  // Interleave one hot scalar with enough cold inserts to force rehashes;
+  // every insert repoints the MRU at a post-growth pointer, so the hot
+  // address must always resolve to live, correct state.
+  shadow_memory shadow;
+  int hot = 0;
+  shadow.try_access(&hot)->writer = 123;
+  std::vector<int> cold(4096);
+  for (std::size_t i = 0; i < cold.size(); ++i) {
+    shadow.try_access(&cold[i])->writer = static_cast<task_id>(i);
+    ASSERT_EQ(shadow.try_access(&hot)->writer, 123u) << "after insert " << i;
+  }
+}
+
+// --------------------------------------------------------- shard-clipped slabs
+
+TEST(DirectShadowShard, SlabClippedToOwnedChunks) {
+  std::vector<int> buf(256);  // 1 KiB: spans several 64-byte chunks
+  region_guard reg(buf.data(), buf.size() * sizeof(int), sizeof(int));
+  ASSERT_TRUE(reg.ok_);
+
+  constexpr unsigned kShift = 6;
+  constexpr std::size_t kShards = 2;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    shadow_memory shadow;
+    shadow.set_shard(kShift, shard, kShards);
+    std::size_t owned = 0;
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (shard_of(&buf[i], kShift, kShards) != shard) continue;
+      ++owned;
+      shadow_cell* cell = shadow.try_access(&buf[i]);
+      ASSERT_NE(cell, nullptr);
+      cell->writer = static_cast<task_id>(i);
+    }
+    ASSERT_GT(owned, 0u);
+    // Every owned cell is served by a clipped slab — never the hashed tier.
+    EXPECT_EQ(shadow.stats().direct_hits, owned) << "shard " << shard;
+    EXPECT_EQ(shadow.stats().hashed_hits, 0u) << "shard " << shard;
+    EXPECT_EQ(shadow.stats().slabs_built, 1u) << "shard " << shard;
+    EXPECT_EQ(shadow.location_count(), owned) << "shard " << shard;
+    // State persists across re-access.
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (shard_of(&buf[i], kShift, kShards) != shard) continue;
+      EXPECT_EQ(shadow.try_access(&buf[i])->writer, static_cast<task_id>(i));
+      break;
+    }
+  }
+}
+
+TEST(DirectShadowShard, ShardsPartitionTheRegion) {
+  std::vector<int> buf(128);
+  region_guard reg(buf.data(), buf.size() * sizeof(int), sizeof(int));
+  ASSERT_TRUE(reg.ok_);
+
+  constexpr unsigned kShift = 6;
+  constexpr std::size_t kShards = 4;
+  std::size_t covered = 0;
+  for (std::size_t shard = 0; shard < kShards; ++shard) {
+    shadow_memory shadow;
+    shadow.set_shard(kShift, shard, kShards);
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      if (shard_of(&buf[i], kShift, kShards) != shard) continue;
+      ASSERT_NE(shadow.try_access(&buf[i]), nullptr);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, buf.size());  // every element owned exactly once
 }
 
 }  // namespace

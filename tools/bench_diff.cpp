@@ -33,7 +33,14 @@ namespace {
 
 using futrace::support::json;
 
-enum class key_class { ignored, advisory_time, rate, counter, boolean };
+enum class key_class {
+  ignored,
+  advisory_time,  // machine-dependent; gated only under --strict-time
+  advisory_load,  // scheduling-dependent fill levels; never gated
+  rate,
+  counter,
+  boolean,
+};
 
 struct finding {
   std::string path;
@@ -64,6 +71,13 @@ key_class classify(const std::string& raw_key) {
   if (key == "iterations" || key == "repetitions" || key == "repeats" ||
       key == "threads" || contains(key, "index")) {
     return key_class::ignored;
+  }
+  // Pipeline fill metrics (bench/table2 --detect-threads): ring occupancy
+  // and backpressure spins depend on the OS schedule, not the trace, so a
+  // swing in either direction is reported but never gated — not even under
+  // --strict-time.
+  if (contains(key, "occupancy") || contains(key, "backpressure")) {
+    return key_class::advisory_load;
   }
   if (contains(key, "ms") || contains(key, "time") || contains(key, "cpu") ||
       contains(key, "real") || contains(key, "slowdown") ||
@@ -154,9 +168,19 @@ void diff_value(const std::string& path, const std::string& leaf_key,
   const double delta_pct = b != 0 ? (c - b) / b * 100.0 : 100.0;
 
   bool regressed = false;
+  bool gated = true;
   switch (cls) {
     case key_class::advisory_time:
       regressed = delta_pct > cfg.max_regress_pct;  // slower = worse
+      gated = cfg.strict_time;
+      break;
+    case key_class::advisory_load:
+      // Either direction is worth a look (a drained ring can mean the
+      // producer slowed down just as much as a full one can mean the
+      // checkers did), but neither is a verdict.
+      regressed = delta_pct > cfg.max_regress_pct ||
+                  delta_pct < -cfg.max_regress_pct;
+      gated = false;
       break;
     case key_class::rate:
       regressed = delta_pct < -cfg.max_regress_pct;  // fewer hits = worse
@@ -168,7 +192,6 @@ void diff_value(const std::string& path, const std::string& leaf_key,
       break;
   }
   if (!regressed) return;
-  const bool gated = cls != key_class::advisory_time || cfg.strict_time;
   out.push_back({path, cls, b, c, delta_pct, gated});
 }
 
@@ -200,6 +223,7 @@ int report(const std::vector<finding>& findings,
     const char* why = "";
     switch (f.cls) {
       case key_class::advisory_time: why = "slower"; break;
+      case key_class::advisory_load: why = "load shifted"; break;
       case key_class::rate: why = "hit rate dropped"; break;
       case key_class::counter: why = "counter grew"; break;
       case key_class::boolean: why = "flag flipped to false"; break;
@@ -269,9 +293,23 @@ int self_test() {
   expect(run(R"({"iterations": 1000})", R"({"iterations": 5000})") == 0,
          "iteration counts are ignored");
 
+  // Pipelined-detector keys from bench/table2 --detect-threads: fill levels
+  // are scheduling noise, degradation counters are hard facts.
+  expect(run(R"({"occupancy_pct": 12.0})", R"({"occupancy_pct": 80.0})") == 0,
+         "ring occupancy swings are never gated");
+  expect(run(R"({"backpressure_waits": 10})",
+             R"({"backpressure_waits": 9000})") == 0,
+         "backpressure spins are never gated");
+  expect(run(R"({"inline_fallbacks": 0})", R"({"inline_fallbacks": 3})") == 1,
+         "inline fallbacks appearing is gated");
+  expect(run(R"({"pipe_events": 1000})", R"({"pipe_events": 1500})") == 1,
+         "pipeline event-count growth is gated");
+
   cfg.strict_time = true;
   expect(run(R"({"seq_ms": 10})", R"({"seq_ms": 100})") == 1,
          "--strict-time gates time keys");
+  expect(run(R"({"occupancy_pct": 12.0})", R"({"occupancy_pct": 80.0})") == 0,
+         "--strict-time still does not gate occupancy");
   cfg.strict_time = false;
 
   // Missing keys warn instead of failing.

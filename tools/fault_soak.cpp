@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "futrace/detect/pipeline.hpp"
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/inject/fault_injector.hpp"
 #include "futrace/progen/random_program.hpp"
@@ -348,6 +349,190 @@ void soak_parallel_seed(std::uint64_t seed, std::uint32_t watchdog_ms) {
   check_cleanup(seed, exec_mode::parallel, "parallel-cleanup");
 }
 
+// ---- Pipelined-detector soak -----------------------------------------------
+// Streams each progen program through the detect_threads=4 pipelined detector
+// under a seeded pipe-fault plan (checker stall, checker kill, forced
+// ring-full backpressure, or none — the control group), occasionally with a
+// tiny ring so wraparound and oversize-finish streaming happen under load.
+// Invariants: program behavior is untouched, the run never deadlocks or
+// drops events, verdicts / racy locations / paper counters are identical to
+// the inline detector, and a killed checker degrades its shard to inline
+// checking — sticky and counted, still exact. Allocation-ordinal plans are
+// deliberately excluded here: checker threads consult the allocation gate
+// concurrently, so ordinal triggers are not schedule-stable in pipelined
+// mode.
+
+struct pipe_run {
+  outcome out;
+  detect::detector_counters det{};
+  std::uint64_t race_count = 0;
+  bool detected = false;
+  detect::pipeline_stats pipe{};
+  bool pipelined = false;
+};
+
+/// The Table 2 / verdict surface only: engine-tier diagnostics (direct or
+/// hashed hit counts, memo rates) are layout-dependent and differ between
+/// inline and sharded configurations by design.
+bool paper_counters_equal(const detect::detector_counters& a,
+                          const detect::detector_counters& b) {
+  return a.tasks == b.tasks && a.async_tasks == b.async_tasks &&
+         a.future_tasks == b.future_tasks &&
+         a.continuation_tasks == b.continuation_tasks &&
+         a.promise_puts == b.promise_puts &&
+         a.get_operations == b.get_operations &&
+         a.non_tree_joins == b.non_tree_joins &&
+         a.shared_mem_accesses == b.shared_mem_accesses &&
+         a.reads == b.reads && a.writes == b.writes &&
+         a.avg_readers == b.avg_readers && a.max_readers == b.max_readers &&
+         a.locations == b.locations && a.races_observed == b.races_observed &&
+         a.racy_locations == b.racy_locations &&
+         a.untracked_accesses == b.untracked_accesses &&
+         a.degraded == b.degraded;
+}
+
+inject::fault_plan pipe_plan_for(std::uint64_t seed) {
+  support::xoshiro256 rng(seed ^ 0x717E11FEULL);
+  inject::fault_plan p;
+  p.seed = seed;
+  switch (rng.below(6)) {
+    case 0:
+    case 1:
+      p.pipe_kill_at = 1 + rng.below(500);
+      break;
+    case 2:
+      p.pipe_stall_at = 1 + rng.below(300);
+      break;
+    case 3:
+      p.pipe_ring_full_at = 1 + rng.below(100);
+      p.pipe_ring_full_spins = 32 + static_cast<std::uint32_t>(rng.below(256));
+      break;
+    default:
+      break;  // control group: the pipeline under no faults at all
+  }
+  return p;
+}
+
+/// One serial_dfs execution checked through pipelined_detector. The caller
+/// installs any injector; this only runs and harvests.
+pipe_run run_pipelined(progen::random_program& prog, unsigned threads,
+                       std::size_t ring_capacity) {
+  pipe_run r;
+  detect::race_detector::options opts;
+  opts.detect_threads = threads;
+  detect::pipelined_detector det(opts, {.ring_capacity = ring_capacity});
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  classify(rt, r.out, [&prog] { prog(); });
+  r.out.stats = prog.stats();
+  const auto c = det.counters();
+  r.out.det_reads = c.reads;
+  r.out.det_writes = c.writes;
+  r.out.det_degraded = c.degraded;
+  for (const void* addr : det.racy_locations()) {
+    for (int i = 0; i < prog.num_vars(); ++i) {
+      if (prog.var_address(i) == addr) r.out.racy_vars.push_back(i);
+    }
+  }
+  r.det = c;
+  r.race_count = det.race_count();
+  r.detected = det.race_detected();
+  r.pipe = det.pipe_stats();
+  r.pipelined = det.pipelined();
+  return r;
+}
+
+void soak_pipelined_seed(std::uint64_t seed) {
+  progen::progen_config cfg;
+  cfg.seed = seed;
+  cfg.max_tasks = 120;
+  progen::random_program prog(cfg);
+
+  // Inline reference (detect_threads = 0): the verdict every pipelined run
+  // must reproduce exactly.
+  const pipe_run ref = run_pipelined(prog, 0, std::size_t{1} << 12);
+  if (ref.pipelined) {
+    fail(seed, "pipe-inline-ref", "detect_threads=0 spawned checker threads");
+    return;
+  }
+
+  const inject::fault_plan plan = pipe_plan_for(seed);
+  // A tiny ring every fourth seed forces wraparound, backpressure, and the
+  // oversize finish-list streaming path under whatever fault is armed.
+  const std::size_t ring = seed % 4 == 0 ? 64 : std::size_t{1} << 12;
+  inject::fault_injector inj(plan);
+  pipe_run run;
+  {
+    inject::scoped_injector guard(inj);
+    run = run_pipelined(prog, 4, ring);
+  }
+  const auto fired = inj.snapshot();
+  const std::string ctx =
+      plan.describe() + " ring=" + std::to_string(ring) + ": ";
+
+  // Pipe faults are detector-internal: the program's behavior and stats must
+  // be byte-identical to the inline reference.
+  if (run.out.completed != ref.out.completed ||
+      run.out.error_kind != ref.out.error_kind ||
+      !stats_equal(run.out.stats, ref.out.stats)) {
+    fail(seed, "pipe-transparency",
+         ctx + "pipelined run changed program behavior: " + describe(ref.out) +
+             " vs " + describe(run.out));
+  }
+
+  // Verdict equality: detected flag, race count, racy variables, and every
+  // paper-level counter. This is the determinism claim of DESIGN.md §10
+  // under active fault injection.
+  if (run.detected != ref.detected || run.race_count != ref.race_count) {
+    fail(seed, "pipe-verdict",
+         ctx + "race verdict diverged: inline " +
+             std::to_string(ref.race_count) + " vs pipelined " +
+             std::to_string(run.race_count));
+  }
+  if (run.out.racy_vars != ref.out.racy_vars) {
+    fail(seed, "pipe-racy-vars",
+         ctx + "racy variable sets diverged (" +
+             std::to_string(ref.out.racy_vars.size()) + " vs " +
+             std::to_string(run.out.racy_vars.size()) + ")");
+  }
+  if (!paper_counters_equal(run.det, ref.det)) {
+    fail(seed, "pipe-counters", ctx + "paper counters diverged from inline");
+  }
+
+  // A killed checker must be detected, counted, and degrade its shard to
+  // inline checking without losing events (verdicts already compared above).
+  if (fired.pipe_kills > 0) {
+    if (run.pipe.workers_died == 0) {
+      fail(seed, "pipe-kill-uncounted",
+           ctx + "worker kill fired but workers_died == 0");
+    }
+    if (run.pipe.inline_fallbacks == 0) {
+      fail(seed, "pipe-kill-fallback",
+           ctx + "worker kill fired but no event was applied inline");
+    }
+  } else if (run.pipe.workers_died != 0) {
+    fail(seed, "pipe-spurious-death",
+         ctx + "workers died with no kill fault armed");
+  }
+
+  // Forced ring-full must surface as backpressure spins, never anything else.
+  if (fired.pipe_forced_fulls > 0 &&
+      run.pipe.backpressure_waits < plan.pipe_ring_full_spins) {
+    fail(seed, "pipe-backpressure",
+         ctx + "forced ring-full fired but backpressure_waits=" +
+             std::to_string(run.pipe.backpressure_waits));
+  }
+
+  // Control group: with no faults armed the pipeline must stay pipelined
+  // end to end.
+  if (!plan.any() && (!run.pipelined || run.pipe.inline_fallbacks != 0)) {
+    fail(seed, "pipe-passivity",
+         ctx + "fault-free pipelined run degraded to inline checking");
+  }
+
+  check_cleanup(seed, exec_mode::serial_dfs, "pipe-cleanup");
+}
+
 // ---- Resource-cap acceptance: big trace against a capped shadow memory -----
 
 int run_stress(std::uint64_t accesses) {
@@ -416,6 +601,9 @@ int main(int argc, char** argv) {
   flags.define("stress-accesses", "0",
                "run the shadow-memory cap stress test with N accesses "
                "instead of the soak");
+  flags.define("pipe-seeds", "0",
+               "run only the pipelined-detector soak with N seeds "
+               "instead of the full soak");
   flags.parse(argc, argv);
 
   const std::uint64_t stress =
@@ -429,9 +617,30 @@ int main(int argc, char** argv) {
   const auto watchdog_ms =
       static_cast<std::uint32_t>(flags.get_int("watchdog-ms"));
 
+  const std::uint64_t pipe_seeds =
+      static_cast<std::uint64_t>(flags.get_int("pipe-seeds"));
+  if (pipe_seeds > 0) {
+    for (std::uint64_t s = base; s < base + pipe_seeds; ++s) {
+      soak_pipelined_seed(s);
+      if ((s - base + 1) % 50 == 0) {
+        std::printf("... %llu/%llu pipelined seeds\n",
+                    static_cast<unsigned long long>(s - base + 1),
+                    static_cast<unsigned long long>(pipe_seeds));
+      }
+    }
+    if (g_failures == 0) {
+      std::printf("fault_soak: %llu pipelined seeds passed\n",
+                  static_cast<unsigned long long>(pipe_seeds));
+      return 0;
+    }
+    std::printf("fault_soak: %d failure(s)\n", g_failures);
+    return 1;
+  }
+
   for (std::uint64_t s = base; s < base + seeds; ++s) {
     soak_serial_seed(s);
     soak_parallel_seed(s, watchdog_ms);
+    soak_pipelined_seed(s);
     if ((s - base + 1) % 50 == 0) {
       std::printf("... %llu/%llu seeds\n",
                   static_cast<unsigned long long>(s - base + 1),
@@ -439,8 +648,10 @@ int main(int argc, char** argv) {
     }
   }
   if (g_failures == 0) {
-    std::printf("fault_soak: %llu seeds x {elision, dfs, parallel} passed\n",
-                static_cast<unsigned long long>(seeds));
+    std::printf(
+        "fault_soak: %llu seeds x {elision, dfs, parallel, pipelined} "
+        "passed\n",
+        static_cast<unsigned long long>(seeds));
     return 0;
   }
   std::printf("fault_soak: %d failure(s)\n", g_failures);
