@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "futrace/detect/race_detector.hpp"
+#include "futrace/obs/metrics.hpp"
 #include "futrace/runtime/runtime.hpp"
 #include "futrace/support/flags.hpp"
 #include "futrace/support/json.hpp"
@@ -130,12 +131,16 @@ int main(int argc, char** argv) {
       .define("json-out", "BENCH_ablation_ntjoins.json",
               "path for --json output")
       .define("no-fastpath", "false",
-              "disable the direct/memo/stamp fast paths");
+              "disable the direct/memo/stamp fast paths")
+      .define("trace", "",
+              "write a Chrome trace-event JSON of each detected run to this "
+              "path (runs overwrite; the file holds the last sweep point)");
   flags.parse(argc, argv);
   const auto tasks = static_cast<std::size_t>(flags.get_int("tasks"));
   const auto accesses = static_cast<std::size_t>(flags.get_int("accesses"));
   detect::race_detector::options opts;
   opts.enable_fastpath = !flags.get_bool("no-fastpath");
+  opts.trace_path = flags.get_string("trace");
 
   using support::json;
   json doc = json::object();
@@ -175,6 +180,7 @@ int main(int argc, char** argv) {
           per_query(s.reach.nt_edges_walked, s.reach.precede_queries);
       row["visit_steps_per_query"] =
           per_query(s.reach.visit_steps, s.reach.precede_queries);
+      row["counters"] = obs::counters_json(s.counters);
       sweep_nt.push_back(row);
     }
     std::printf("(a) Sweep of non-tree join count at constant shared-memory "
@@ -201,6 +207,7 @@ int main(int argc, char** argv) {
           per_query(s.reach.nt_edges_walked, s.reach.precede_queries);
       row["visit_steps_per_query"] =
           per_query(s.reach.visit_steps, s.reach.precede_queries);
+      row["counters"] = obs::counters_json(s.counters);
       sweep_hop.push_back(row);
     }
     std::printf("\n(b) Sweep of producer-consumer hop distance (paper §5: "
@@ -224,6 +231,7 @@ int main(int argc, char** argv) {
       row["avg_readers"] = s.counters.avg_readers;
       row["time_ms"] = s.ms;
       row["precede_queries"] = s.reach.precede_queries;
+      row["counters"] = obs::counters_json(s.counters);
       sweep_readers.push_back(row);
     }
     std::printf("\n(c) Sweep of parallel future readers per location (the "

@@ -17,6 +17,7 @@
 
 #include "futrace/detect/pipeline.hpp"
 #include "futrace/detect/race_detector.hpp"
+#include "futrace/obs/metrics.hpp"
 #include "futrace/runtime/runtime.hpp"
 #include "futrace/support/flags.hpp"
 #include "futrace/support/json.hpp"
@@ -48,31 +49,13 @@ struct row_result {
   paper_row paper;
 
   double slowdown() const { return seq_ms > 0 ? racedet_ms / seq_ms : 0; }
-  // Fast-path hit rates (see DESIGN.md "Performance architecture").
-  double direct_rate() const {
-    const auto tracked = counters.direct_hits + counters.hashed_hits;
-    return tracked ? static_cast<double>(counters.direct_hits) / tracked : 0;
-  }
-  double memo_rate() const {
-    return counters.precede_queries
-               ? static_cast<double>(counters.memo_hits) /
-                     counters.precede_queries
-               : 0;
-  }
-  double stamp_rate() const {
-    return counters.shared_mem_accesses
-               ? static_cast<double>(counters.stamp_hits) /
-                     counters.shared_mem_accesses
-               : 0;
-  }
-  // Fraction of element accesses served by the coalesced range walk (or its
-  // O(1) summary tier) instead of per-element dispatch.
-  double range_rate() const {
-    return counters.shared_mem_accesses
-               ? static_cast<double>(counters.range_hits) /
-                     counters.shared_mem_accesses
-               : 0;
-  }
+  // Fast-path hit rates (see DESIGN.md "Performance architecture"); the
+  // formulas live in obs/metrics so table cells, bench JSON, and registry
+  // snapshots can never drift apart.
+  double direct_rate() const { return futrace::obs::direct_hit_rate(counters); }
+  double memo_rate() const { return futrace::obs::memo_hit_rate(counters); }
+  double stamp_rate() const { return futrace::obs::stamp_hit_rate(counters); }
+  double range_rate() const { return futrace::obs::range_hit_rate(counters); }
 };
 
 /// Global bench configuration shared by every row.
@@ -82,6 +65,7 @@ struct bench_config {
   bool ranges = true;
   std::size_t shadow_hint = 0;  // 0 = use the per-row workload hint
   unsigned detect_threads = 0;  // 0 = inline detector, N = pipelined
+  std::string trace_path;       // --trace=FILE: Chrome trace of the last rep
 };
 
 // Runs one benchmark in both configurations. `make` returns a fresh workload
@@ -122,6 +106,10 @@ row_result run_row(const std::string& name, Make make,
   for (int r = 0; r < cfg.repeats; ++r) {
     auto w = make();
     futrace::runtime rt({.mode = futrace::exec_mode::serial_dfs});
+    // Only the final repetition traces, so the exported timeline is one
+    // clean run (and earlier timed reps stay unperturbed).
+    det_opts.trace_path =
+        r == cfg.repeats - 1 ? cfg.trace_path : std::string();
     if (row.pipe_mode) {
       futrace::detect::pipelined_detector det(det_opts);
       rt.add_observer(&det);
@@ -159,44 +147,16 @@ futrace::support::json row_to_json(const row_result& r) {
   row["seq_ms"] = r.seq_ms;
   row["racedet_ms"] = r.racedet_ms;
   row["slowdown"] = r.slowdown();
-  json counters = json::object();
-  const auto& c = r.counters;
-  counters["tasks"] = c.tasks;
-  counters["non_tree_joins"] = c.non_tree_joins;
-  counters["shared_mem_accesses"] = c.shared_mem_accesses;
-  counters["reads"] = c.reads;
-  counters["writes"] = c.writes;
-  counters["locations"] = c.locations;
-  counters["avg_readers"] = c.avg_readers;
-  counters["races_observed"] = c.races_observed;
-  counters["precede_queries"] = c.precede_queries;
-  counters["direct_hits"] = c.direct_hits;
-  counters["hashed_hits"] = c.hashed_hits;
-  counters["memo_hits"] = c.memo_hits;
-  counters["stamp_hits"] = c.stamp_hits;
-  counters["range_events"] = c.range_events;
-  counters["range_hits"] = c.range_hits;
-  counters["summary_hits"] = c.summary_hits;
-  row["counters"] = counters;
-  json rates = json::object();
-  rates["direct_hit_rate"] = r.direct_rate();
-  rates["memo_hit_rate"] = r.memo_rate();
-  rates["stamp_hit_rate"] = r.stamp_rate();
-  rates["range_hit_rate"] = r.range_rate();
-  row["rates"] = rates;
+  // The canonical sub-object schemas come from obs/metrics — the same keys,
+  // order, and values as every other bench emitter and the checked-in
+  // baselines (bench_diff gates on the paper counters within them).
+  row["counters"] = futrace::obs::counters_json(r.counters);
+  row["rates"] = futrace::obs::rates_json(r.counters);
   if (r.pipe_mode) {
     // Ring/fill metrics are scheduling-dependent (bench_diff treats
     // occupancy/backpressure as advisory); pipe_events and inline_fallbacks
     // are deterministic and gate normally.
-    json pipe = json::object();
-    pipe["workers"] = r.pipe.workers;
-    pipe["ring_capacity"] = r.pipe.ring_capacity;
-    pipe["pipe_events"] = r.pipe.events;
-    pipe["inline_fallbacks"] = r.pipe.inline_fallbacks;
-    pipe["workers_died"] = r.pipe.workers_died;
-    pipe["occupancy_pct"] = r.pipe.occupancy_pct();
-    pipe["backpressure_waits"] = r.pipe.backpressure_waits;
-    row["pipe"] = pipe;
+    row["pipe"] = futrace::obs::pipe_json(r.pipe);
   }
   return row;
 }
@@ -220,7 +180,11 @@ int main(int argc, char** argv) {
               "(0 = per-row workload estimate)")
       .define("detect-threads", "0",
               "stream events to N address-sharded checker threads "
-              "(0 = inline detection on the execution thread)");
+              "(0 = inline detection on the execution thread)")
+      .define("trace", "",
+              "write a Chrome trace-event JSON (Perfetto-loadable) of each "
+              "row's final timed repetition to this path; rows overwrite, "
+              "so combine with --rows to pick one workload");
   flags.parse(argc, argv);
   const auto scale = static_cast<std::size_t>(flags.get_int("scale"));
   const std::string filter = flags.get_string("rows");
@@ -233,6 +197,7 @@ int main(int argc, char** argv) {
   cfg.ranges = !flags.get_bool("no-ranges");
   cfg.shadow_hint = static_cast<std::size_t>(flags.get_int("shadow-hint"));
   cfg.detect_threads = static_cast<unsigned>(flags.get_int("detect-threads"));
+  cfg.trace_path = flags.get_string("trace");
 
   using namespace futrace::workloads;
   std::vector<row_result> rows;

@@ -10,9 +10,16 @@
 
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/runtime/runtime.hpp"
+#include "futrace/support/flags.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace futrace;
+
+  support::flag_parser flags;
+  flags.define("trace", "",
+               "write a Chrome trace-event JSON of the race-checked run to "
+               "this path");
+  flags.parse(argc, argv);
 
   // ---- The appendix program, verbatim shape ---------------------------------
   //   future<T> a = null, b = null;
@@ -76,7 +83,9 @@ int main() {
 
   // ---- Why: the handle cells race -------------------------------------------
   std::printf("race-checking the handle cells (shared future references):\n");
-  detect::race_detector detector;
+  detect::race_detector::options det_opts;
+  det_opts.trace_path = flags.get_string("trace");
+  detect::race_detector detector(det_opts);
   {
     runtime rt({.mode = exec_mode::serial_dfs});
     rt.add_observer(&detector);

@@ -44,8 +44,8 @@ enum class pipe_op : std::uint8_t {
   finish_end,     // task = owner, a = joined count, ids in continuations
   get,            // task = waiter, a = target
   put,            // task = fulfiller
-  read,           // task, a = addr (canonical), b = size
-  write,          // task, a = addr (canonical), b = size
+  read,           // task, a = addr (canonical), b = size, stride = user addr
+  write,          // task, a = addr (canonical), b = size, stride = user addr
   read_range,     // task, a = addr, b = count, stride
   write_range,    // task, a = addr, b = count, stride
 };

@@ -15,11 +15,16 @@
 ///   if (det.race_detected()) { ... det.reports() ... }
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include "futrace/detect/race_report.hpp"
 #include "futrace/detect/shadow_memory.hpp"
 #include "futrace/dsr/reachability_graph.hpp"
+#include "futrace/obs/trace.hpp"
 #include "futrace/runtime/errors.hpp"
 #include "futrace/runtime/observer.hpp"
 
@@ -132,6 +137,12 @@ class race_detector final : public execution_observer {
     /// (it is always a single-threaded checker); pipelined_detector reads it
     /// to decide between forwarding inline and spinning up the pipeline.
     unsigned detect_threads = 0;
+    /// When non-empty, the detector owns an obs::trace_session for its
+    /// lifetime and the Chrome trace-event JSON is written here at
+    /// destruction (the --trace=FILE flag on benches and examples). Empty —
+    /// the default — means no session is installed and the trace hooks stay
+    /// a single predicted-untaken branch.
+    std::string trace_path{};
   };
 
   race_detector();
@@ -159,6 +170,23 @@ class race_detector final : public execution_observer {
     return shadow_.reader_samples();
   }
 
+  /// Silences this detector's runtime-event trace emissions (spawn/end/
+  /// finish/get/put). Pipelined worker replicas replay the producer's graph
+  /// stream, so without muting every runtime event would appear once per
+  /// worker in the timeline; races and slab events stay un-muted because
+  /// address sharding already makes each of those unique to one worker.
+  void set_trace_muted(bool on) noexcept { trace_muted_ = on; }
+
+  /// Worker-side scalar access entry points: like on_read/on_write with
+  /// assume-canonical in force (`addr` is the canonical element base), but
+  /// carrying the address the program actually touched so reports keep
+  /// their provenance across the pipeline. `user_addr == nullptr` means
+  /// the producer recorded no distinct user address (treated as == addr).
+  void on_canonical_read(task_id t, const void* addr, const void* user_addr,
+                         access_site site);
+  void on_canonical_write(task_id t, const void* addr, const void* user_addr,
+                          access_site site);
+
   // -- execution_observer ----------------------------------------------------
   void on_program_start(task_id root) override;
   void on_task_spawn(task_id parent, task_id child, task_kind kind) override;
@@ -166,6 +194,7 @@ class race_detector final : public execution_observer {
   void on_finish_end(task_id owner, std::span<const task_id> joined) override;
   void on_get(task_id waiter, task_id target) override;
   void on_promise_put(task_id fulfiller) override;
+  void on_program_end() override;
   void on_read(task_id t, const void* addr, std::size_t size,
                access_site site) override;
   void on_write(task_id t, const void* addr, std::size_t size,
@@ -218,8 +247,12 @@ class race_detector final : public execution_observer {
   }
 
  private:
-  void report(const void* addr, race_kind kind, task_id first,
-              site_id first_site, task_id second, site_id second_site);
+  /// `addr` is the canonical shadow-cell base (the dedup/report key);
+  /// `user_addr` is what the program actually touched, carried only so the
+  /// report can print both when span_of canonicalized a sub-element access.
+  void report(const void* addr, const void* user_addr, race_kind kind,
+              task_id first, site_id first_site, task_id second,
+              site_id second_site);
 
   /// PRECEDE with the run-local verdict cache (sound for the duration of
   /// one observer event; see precede_cache).
@@ -227,7 +260,8 @@ class race_detector final : public execution_observer {
 
   /// The Algorithm 9 read check on one cell (stamp elision included).
   void check_read_cell(shadow_cell& cell, task_id t, site_id sid,
-                       const void* addr, precede_cache& cache);
+                       const void* addr, const void* user_addr,
+                       precede_cache& cache);
 
   /// The Algorithm 8 write check on one cell. Returns true iff the cell is
   /// known to have left the check in the uniform state {writer = t, no
@@ -235,7 +269,8 @@ class race_detector final : public execution_observer {
   /// false — elision can hide earlier reader state). A full-slab write walk
   /// that is uniform everywhere collapses into a run summary.
   bool check_write_cell(shadow_cell& cell, task_id t, site_id sid,
-                        const void* addr, precede_cache& cache);
+                        const void* addr, const void* user_addr,
+                        precede_cache& cache);
 
   /// O(1) summary transitions for a full-slab range access. Return false —
   /// mutating nothing the per-cell walk would not also do — when the access
@@ -266,6 +301,15 @@ class race_detector final : public execution_observer {
   std::vector<task_kind> kinds_;
   std::vector<std::uint8_t> put_flags_;  // task fulfilled a promise
   std::vector<race_report> reports_;
+  /// Dedup index for reports_: (first site, second site, canonical address,
+  /// kind) → index into reports_. Duplicates bump occurrences on the first
+  /// report instead of burning a max_reports slot; entries whose report was
+  /// dropped by the cap map to k_report_dropped so later duplicates are
+  /// still recognized (and still not materialized).
+  static constexpr std::size_t k_report_dropped = static_cast<std::size_t>(-1);
+  using report_key =
+      std::tuple<std::uint32_t, std::uint32_t, const void*, std::uint8_t>;
+  std::map<report_key, std::size_t> report_index_;
   std::vector<const void*> racy_location_list_;  // deduped lazily
   std::uint64_t races_observed_ = 0;
   std::uint64_t get_operations_ = 0;
@@ -281,6 +325,11 @@ class race_detector final : public execution_observer {
   bool stamp_enabled_ = true;
   bool range_enabled_ = true;
   bool assume_canonical_ = false;  // pipelined worker mode: skip span_of
+  bool trace_muted_ = false;       // worker replica: no runtime-event tracing
+  /// Owned trace sink when options::trace_path is set (null otherwise).
+  /// Declared last: it is torn down first, so the global hook is already
+  /// uninstalled (and the JSON flushed) before any other member dies.
+  std::unique_ptr<obs::trace_session> trace_;
   /// Set when the task cap (or an injected node-allocation failure) fires:
   /// tasks past this point have no graph vertex, so every reachability
   /// query — and with it all race checking — stops. Scalar counters and

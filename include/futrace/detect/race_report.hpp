@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "futrace/dsr/labels.hpp"
 #include "futrace/runtime/observer.hpp"
 
 namespace futrace::detect {
@@ -20,13 +22,46 @@ enum class race_kind : std::uint8_t {
 
 const char* race_kind_name(race_kind kind);
 
+/// Why the detector believed first ∥ second: the PRECEDE(first, second)
+/// structure captured at the moment of the report, so the verdict can be
+/// checked by hand against the paper's Figure semantics. Interval labels
+/// are the spawn-tree [pre, post] numbering (§4.1); a task still live at
+/// query time has a temporary postorder id, flagged by *_terminated and
+/// rendered as "*".
+struct race_witness {
+  bool valid = false;
+  dsr::interval_label first_label;   // first task's own [pre,post]
+  dsr::interval_label second_label;  // second task's own [pre,post]
+  bool first_terminated = false;
+  bool second_terminated = false;
+  dsr::interval_label first_set_label;   // interval of first's disjoint set
+  dsr::interval_label second_set_label;  // interval of second's disjoint set
+  /// The non-tree predecessor frontier PRECEDE searched (and exhausted)
+  /// before concluding the accesses are unordered; empty when the labels
+  /// alone decided (no non-tree edges reachable from `second`).
+  std::vector<task_id> frontier;
+  std::uint64_t lsa_hops = 0;  // significant-ancestor chain hops scanned
+  /// Shadow tier that produced the verdict: "direct" (slab) or "hashed".
+  const char* tier = "";
+};
+
 struct race_report {
+  /// Canonical shadow-cell base of the racing location (what all shadow
+  /// tiers key on, and what racy_locations() reports).
   const void* location = nullptr;
+  /// The address the program actually touched; differs from `location`
+  /// only when span_of canonicalized a sub-element access.
+  const void* user_location = nullptr;
   race_kind kind = race_kind::write_write;
   task_id first_task = k_invalid_task;
   task_id second_task = k_invalid_task;
   access_site first_site;
   access_site second_site;
+  /// How many times this exact race — same site pair, same canonical
+  /// address, same kind — was observed; duplicates are folded into the
+  /// first occurrence (races_observed keeps counting every one).
+  std::uint64_t occurrences = 1;
+  race_witness witness;
 
   /// Human-readable single-line rendering for logs and examples.
   std::string to_string() const;

@@ -36,6 +36,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "futrace/obs/trace.hpp"
 #include "futrace/runtime/observer.hpp"
 #include "futrace/runtime/shared_regions.hpp"
 #include "futrace/support/alloc_gate.hpp"
@@ -411,6 +412,8 @@ class shadow_memory {
   /// keep their allocation. No allocation happens here, so materialization
   /// can never degrade the shadow state.
   void materialize(direct_range& r) noexcept {
+    obs::trace_emit(obs::trace_kind::slab_materialize, obs::trace_track::task,
+                    0, r.cells.size());
     const run_summary s = r.summary;
     r.summary = run_summary{};
     for (shadow_cell& cell : r.cells) {
@@ -458,6 +461,23 @@ class shadow_memory {
     // count == 1 still canonicalizes `first` to the element base, so the
     // hashed and slab tiers key sub-element accesses to the same location.
     return access_span{reinterpret_cast<const void*>(first), count, g.stride};
+  }
+
+  /// Side-effect-free tier probe for race-report provenance: names the
+  /// tier holding `addr`'s shadow state. A plain binary search over the
+  /// slab index — no MRU update, no summary materialization, no lazy sync —
+  /// so calling it on the cold report path cannot perturb any counter,
+  /// cached state, or pending summary (unlike the access-path lookups).
+  const char* tier_name(const void* addr) const noexcept {
+    const std::uintptr_t a = reinterpret_cast<std::uintptr_t>(addr);
+    const auto it = std::upper_bound(
+        ranges_.begin(), ranges_.end(), a,
+        [](std::uintptr_t key, const direct_range& r) { return key < r.base; });
+    if (it != ranges_.begin()) {
+      const direct_range& r = *std::prev(it);
+      if (a >= r.base && a < r.end) return "direct";
+    }
+    return "hashed";
   }
 
   /// Accesses whose shadow state was not tracked (degraded mode).

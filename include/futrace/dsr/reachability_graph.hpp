@@ -52,6 +52,30 @@ struct reachability_stats {
   std::uint64_t memo_invalidations = 0;  // epoch bumps (switch/merge/nt-edge)
 };
 
+/// Everything a race report needs to justify a PRECEDE verdict by hand
+/// against the paper's Figure semantics: both tasks' own spawn-tree
+/// intervals and set intervals at query time, whether a positive verdict
+/// came from interval subsumption alone, and the non-tree join structure
+/// the search touched — the edge chain that established reachability, or,
+/// for a negative verdict (a race), the predecessor frontier that was
+/// searched and failed.
+struct precede_explanation {
+  bool reachable = false;
+  bool by_subsumption = false;  // positive from label subsumption, no walk
+  interval_label a_label;       // a's own [pre,post] at query time
+  interval_label b_label;       // b's own [pre,post] at query time
+  bool a_terminated = false;    // false: post is a temporary id (render "*")
+  bool b_terminated = false;
+  interval_label a_set_label;   // interval of a's disjoint set
+  interval_label b_set_label;   // interval of b's disjoint set
+  /// When reachable through non-tree edges: the predecessor chain walked
+  /// from b toward a, ending at the task whose set answered the query.
+  /// When not reachable: every non-tree predecessor examined before the
+  /// search gave up, deduplicated, in first-visit order.
+  std::vector<task_id> frontier;
+  std::uint64_t lsa_hops = 0;  // significant-ancestor chain hops scanned
+};
+
 class reachability_graph {
  public:
   reachability_graph();
@@ -94,6 +118,13 @@ class reachability_graph {
   /// writer) returns true. Non-const: advances the query epoch and applies
   /// path compression.
   bool precedes(task_id a, task_id b);
+
+  /// Re-runs PRECEDE(a, b) purely for diagnosis: the same traversal as
+  /// precedes() (Algorithm 10), but records the structure it searched and
+  /// touches neither the stats counters nor the memo table — calling it on
+  /// the cold race-report path cannot perturb Table-2 counters or cached
+  /// verdicts. Still non-const: find() keeps applying path halving.
+  precede_explanation explain(task_id a, task_id b);
 
   /// Enables/disables PRECEDE memoization (on by default). Positive
   /// verdicts are cached per (representative-of-a, querying-task) and

@@ -14,6 +14,18 @@ namespace futrace::support {
 
 class flag_parser {
  public:
+  /// Outcome of a non-exiting parse (try_parse). `ok == false` means an
+  /// unknown flag was seen (`error` holds the message); `warnings` collects
+  /// recoverable oddities — currently duplicate flag assignments, where the
+  /// last value wins but a silent override has historically hidden typoed
+  /// benchmark invocations.
+  struct parse_result {
+    bool ok = true;
+    bool help_requested = false;
+    std::string error;
+    std::vector<std::string> warnings;
+  };
+
   /// Registers a flag with a default value and help text. Returns *this for
   /// chaining. Flags are stringly typed at registration; typed getters parse
   /// on access and abort with a clear message on malformed input.
@@ -21,8 +33,19 @@ class flag_parser {
                       const std::string& help);
 
   /// Parses argv. Unknown flags or `--help` print usage; `--help` exits 0,
-  /// unknown flags abort. Positional arguments are collected separately.
+  /// unknown flags abort (exit 2). Duplicate assignments keep the last
+  /// value and print a warning to stderr. Positional arguments are
+  /// collected separately.
   void parse(int argc, char** argv);
+
+  /// parse() without the process-exit side effects, for tests and embedders:
+  /// never prints, never exits, reports everything through the result.
+  /// Flag values are applied exactly as parse() would apply them (including
+  /// last-one-wins duplicates) up to the first unknown flag.
+  parse_result try_parse(int argc, char** argv);
+
+  /// Warnings collected by the most recent parse()/try_parse() call.
+  const std::vector<std::string>& warnings() const { return warnings_; }
 
   std::string get_string(const std::string& name) const;
   std::int64_t get_int(const std::string& name) const;
@@ -38,11 +61,13 @@ class flag_parser {
     std::string value;
     std::string default_value;
     std::string help;
+    bool set = false;  // assigned at least once by the current parse
   };
 
   std::string program_name_;
   std::map<std::string, flag_info> flags_;
   std::vector<std::string> positional_;
+  std::vector<std::string> warnings_;
 };
 
 }  // namespace futrace::support

@@ -9,6 +9,7 @@
 #include "futrace/detect/event_ring.hpp"
 #include "futrace/inject/fault_injector.hpp"
 #include "futrace/inject/hooks.hpp"
+#include "futrace/obs/trace.hpp"
 #include "futrace/support/alloc_gate.hpp"
 #include "futrace/support/assert.hpp"
 
@@ -64,6 +65,7 @@ struct pipelined_detector::impl {
     /// Producer-side: events for this shard are applied inline from now on
     /// (worker died or its thread never started). Sticky.
     bool inline_mode = false;
+    std::uint32_t index = 0;       // shard index (checker-track id in traces)
     std::vector<report_tag> tags;  // tags[i] belongs to det->reports()[i]
     std::vector<task_id> scratch;  // finish_end joined-list reassembly
   };
@@ -92,6 +94,13 @@ struct pipelined_detector::impl {
   std::vector<race_report> merged_reports;
   std::vector<const void*> merged_racy;
   bool merged_degraded = false;
+
+  /// Pipelined-mode trace sink (inline mode hands trace_path to the inner
+  /// detector instead). Workers are trace-muted — the producer emits the
+  /// single authoritative runtime-event stream — but their race and slab
+  /// instants stay live, which is safe because address sharding makes each
+  /// of those unique to one worker.
+  std::unique_ptr<obs::trace_session> trace;
 
   // -- shared event application (worker thread / producer takeover) ----------
 
@@ -126,14 +135,17 @@ struct pipelined_detector::impl {
         det.on_promise_put(ev.task);
         break;
       case pipe_op::read:
-        det.on_read(ev.task, reinterpret_cast<const void*>(ev.a),
-                    static_cast<std::size_t>(ev.b),
-                    access_site{ev.file, ev.line});
+        // `stride` is unused by scalar accesses, so it carries the address
+        // the program actually touched (== a unless span_of canonicalized
+        // a sub-element access) for report provenance.
+        det.on_canonical_read(ev.task, reinterpret_cast<const void*>(ev.a),
+                              reinterpret_cast<const void*>(ev.stride),
+                              access_site{ev.file, ev.line});
         break;
       case pipe_op::write:
-        det.on_write(ev.task, reinterpret_cast<const void*>(ev.a),
-                     static_cast<std::size_t>(ev.b),
-                     access_site{ev.file, ev.line});
+        det.on_canonical_write(ev.task, reinterpret_cast<const void*>(ev.a),
+                               reinterpret_cast<const void*>(ev.stride),
+                               access_site{ev.file, ev.line});
         break;
       case pipe_op::read_range:
         det.on_read_range(ev.task, reinterpret_cast<const void*>(ev.a),
@@ -267,6 +279,10 @@ struct pipelined_detector::impl {
     }
     if (w.dead.load(std::memory_order_acquire)) return false;
     if (w.ring->free_slots() >= need) [[likely]] return true;
+    // One instant per backpressure episode (not per spin) on the stalled
+    // worker's checker track.
+    obs::trace_emit(obs::trace_kind::ring_stall, obs::trace_track::checker,
+                    w.index, need);
     // Spin with the always-refresh variant: the lazy free_slots() cache only
     // refreshes on a completely-full view, so waiting on it for a
     // multi-slot event whose need exceeds a stale nonzero view would never
@@ -326,10 +342,13 @@ struct pipelined_detector::impl {
   /// discarded — the caller re-applies that event itself. The shard runs
   /// inline from here on.
   void handle_death(worker& w) {
+    obs::trace_emit(obs::trace_kind::worker_death, obs::trace_track::checker,
+                    w.index);
     if (w.thread.joinable()) w.thread.join();
     event_ring& ring = *w.ring;
     const std::size_t n = ring.readable_refresh();
     std::size_t consumed = 0;
+    std::uint64_t drained = 0;
     while (consumed < n) {
       const pipe_event& header = ring.consume_slot(consumed);
       const std::size_t need = event_slots(header);
@@ -339,11 +358,14 @@ struct pipelined_detector::impl {
       }
       apply_at(w, consumed);
       ++stats.inline_fallbacks;
+      ++drained;
       consumed += need;
     }
     if (consumed != 0) ring.pop(consumed);
     w.inline_mode = true;
     ++stats.workers_died;
+    obs::trace_emit(obs::trace_kind::takeover, obs::trace_track::checker,
+                    w.index, drained);
   }
 
   void apply_inline(worker& w, const pipe_event& ev,
@@ -377,6 +399,39 @@ struct pipelined_detector::impl {
   void produce_graph(pipe_op op, task_id task, std::uint64_t a,
                      std::uint64_t b, std::span<const task_id> joined) {
     ++stats.events;
+    // The producer is the single authoritative runtime-event stream when
+    // pipelined (worker replicas are trace-muted, or W replays would each
+    // duplicate it).
+    if (obs::trace_enabled()) [[unlikely]] {
+      switch (op) {
+        case pipe_op::program_start:
+          obs::trace_emit(obs::trace_kind::task_begin, obs::trace_track::task,
+                          task, static_cast<std::uint64_t>(task_kind::root),
+                          k_invalid_task);
+          break;
+        case pipe_op::spawn:
+          obs::trace_emit(obs::trace_kind::task_begin, obs::trace_track::task,
+                          static_cast<task_id>(a), b, task);
+          break;
+        case pipe_op::task_end:
+          obs::trace_emit(obs::trace_kind::task_end, obs::trace_track::task,
+                          task);
+          break;
+        case pipe_op::finish_end:
+          obs::trace_emit(obs::trace_kind::finish, obs::trace_track::task,
+                          task, a);
+          break;
+        case pipe_op::get:
+          obs::trace_emit(obs::trace_kind::get, obs::trace_track::task, task,
+                          a);
+          break;
+        case pipe_op::put:
+          obs::trace_emit(obs::trace_kind::put, obs::trace_track::task, task);
+          break;
+        default:
+          break;
+      }
+    }
     pipe_event ev;
     ev.op = op;
     ev.task = task;
@@ -434,6 +489,9 @@ struct pipelined_detector::impl {
       ev.task = t;
       ev.a = reinterpret_cast<std::uintptr_t>(span.first);
       ev.b = size;
+      // `stride` is dead weight for a scalar access; reuse it to carry the
+      // program-touched address across the ring for report provenance.
+      ev.stride = reinterpret_cast<std::uintptr_t>(addr);
       ev.file = site.file;
       ev.line = site.line;
       ev.seq = seq_no;
@@ -450,6 +508,8 @@ struct pipelined_detector::impl {
     if (finalized) return;
     finalized = true;
     if (!use_pipeline) return;
+    // The root's timeline slice was already closed by the runtime's
+    // on_task_end(root), which the producer mirrors like any other task end.
     done.store(true, std::memory_order_release);
     for (auto& wp : workers) {
       worker& w = *wp;
@@ -584,16 +644,25 @@ pipelined_detector::pipelined_detector(race_detector::options opts,
   impl_->shard_pow2 = (requested & (requested - 1)) == 0;
   impl_->shard_mask = requested - 1;
   impl_->stats.workers = requested;
+  // Pipelined mode owns the trace session itself: workers must not each
+  // install (or write) one, and the producer needs the sink live for the
+  // runtime-event stream.
+  if (!opts.trace_path.empty()) {
+    impl_->trace = std::make_unique<obs::trace_session>(opts.trace_path);
+  }
   for (unsigned i = 0; i < requested; ++i) {
     auto w = std::make_unique<impl::worker>();
     race_detector::options inner = opts;
     inner.detect_threads = 0;
     inner.fail_fast = false;
+    inner.trace_path.clear();  // the pipeline owns the one session
     if (requested > 1 && inner.shadow_reserve != 0) {
       inner.shadow_reserve = inner.shadow_reserve / requested + 1;
     }
     w->det = std::make_unique<race_detector>(inner);
     w->det->set_assume_canonical(true);
+    w->det->set_trace_muted(true);
+    w->index = i;
     if (requested > 1) {
       w->det->configure_shard(tune.chunk_shift, i, requested);
     }
@@ -724,7 +793,10 @@ void pipelined_detector::on_write_range(task_id t, const void* addr,
   impl_->produce_range(true, t, addr, count, stride, site, impl_->seq++);
 }
 
-void pipelined_detector::on_program_end() { impl_->finalize(); }
+void pipelined_detector::on_program_end() {
+  if (!impl_->use_pipeline) impl_->inline_det->on_program_end();
+  impl_->finalize();
+}
 
 bool pipelined_detector::race_detected() const { return race_count() > 0; }
 

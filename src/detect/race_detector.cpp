@@ -48,12 +48,58 @@ const char* race_kind_name(race_kind kind) {
   return "?";
 }
 
+namespace {
+
+/// Renders a spawn-tree interval; a temporary postorder id (counting down
+/// from MAXINT while the task — or its set's shallowest member — is still
+/// live) is meaningless to a reader, so it prints as "*", matching to_dot().
+/// Final postorder values come from the dfid counter and can never reach
+/// the temporary range, so the midpoint cleanly separates the two.
+void append_label(std::ostringstream& out, const dsr::interval_label& label) {
+  constexpr std::uint64_t k_temporary_floor = std::uint64_t{1} << 63;
+  out << "[" << label.pre << ",";
+  if (label.post >= k_temporary_floor) {
+    out << "*";
+  } else {
+    out << label.post;
+  }
+  out << "]";
+}
+
+}  // namespace
+
 std::string race_report::to_string() const {
   std::ostringstream out;
-  out << race_kind_name(kind) << " determinacy race at " << location
-      << ": task " << first_task << " (" << first_site.file << ":"
-      << first_site.line << ") || task " << second_task << " ("
-      << second_site.file << ":" << second_site.line << ")";
+  out << race_kind_name(kind) << " determinacy race at " << location;
+  if (user_location != nullptr && user_location != location) {
+    out << " (touched " << user_location << ")";
+  }
+  out << ": task " << first_task << " (" << first_site.file << ":"
+      << first_site.line << ")";
+  if (witness.valid) {
+    out << " ";
+    append_label(out, witness.first_label);
+  }
+  out << " || task " << second_task << " (" << second_site.file << ":"
+      << second_site.line << ")";
+  if (witness.valid) {
+    out << " ";
+    append_label(out, witness.second_label);
+    out << "; sets ";
+    append_label(out, witness.first_set_label);
+    out << " || ";
+    append_label(out, witness.second_set_label);
+    out << "; searched frontier {";
+    for (std::size_t i = 0; i < witness.frontier.size(); ++i) {
+      if (i != 0) out << ", ";
+      out << witness.frontier[i];
+    }
+    out << "}, " << witness.lsa_hops << " lsa hops; " << witness.tier
+        << " tier";
+  }
+  if (occurrences > 1) {
+    out << "; seen " << occurrences << "x";
+  }
   return out.str();
 }
 
@@ -68,10 +114,18 @@ race_detector::race_detector(options opts) : opts_(opts) {
   stamp_enabled_ = opts_.enable_fastpath;
   range_enabled_ = opts_.enable_range_checks;
   if (opts_.shadow_reserve != 0) shadow_.reserve(opts_.shadow_reserve);
+  if (!opts_.trace_path.empty()) {
+    trace_ = std::make_unique<obs::trace_session>(opts_.trace_path);
+  }
 }
 
 void race_detector::on_program_start(task_id root) {
   bump_step();
+  if (!trace_muted_) {
+    obs::trace_emit(obs::trace_kind::task_begin, obs::trace_track::task, root,
+                    static_cast<std::uint64_t>(task_kind::root),
+                    k_invalid_task);
+  }
   const dsr::task_id id = graph_.create_root();
   FUTRACE_CHECK_MSG(id == root, "detector and runtime task ids diverged");
   kinds_.push_back(task_kind::root);
@@ -81,6 +135,10 @@ void race_detector::on_program_start(task_id root) {
 void race_detector::on_task_spawn(task_id parent, task_id child,
                                   task_kind kind) {
   bump_step();
+  if (!trace_muted_) {
+    obs::trace_emit(obs::trace_kind::task_begin, obs::trace_track::task, child,
+                    static_cast<std::uint64_t>(kind), parent);
+  }
   // Per-task bookkeeping survives degradation: counters keep counting.
   kinds_.push_back(kind);
   put_flags_.push_back(0);
@@ -101,12 +159,18 @@ void race_detector::on_task_spawn(task_id parent, task_id child,
 
 void race_detector::on_promise_put(task_id fulfiller) {
   bump_step();
+  if (!trace_muted_) {
+    obs::trace_emit(obs::trace_kind::put, obs::trace_track::task, fulfiller);
+  }
   ++promise_puts_;
   put_flags_[fulfiller] = 1;
 }
 
 void race_detector::on_task_end(task_id t) {
   bump_step();
+  if (!trace_muted_) {
+    obs::trace_emit(obs::trace_kind::task_end, obs::trace_track::task, t);
+  }
   if (graph_degraded_) return;
   // Algorithm 3: finalize the postorder value.
   graph_.on_terminate(t);
@@ -115,6 +179,15 @@ void race_detector::on_task_end(task_id t) {
 void race_detector::on_finish_end(task_id owner,
                                   std::span<const task_id> joined) {
   bump_step();
+  if (!trace_muted_ && obs::trace_enabled()) {
+    obs::trace_emit(obs::trace_kind::finish, obs::trace_track::task, owner,
+                    joined.size());
+    // Piggyback a PRECEDE counter sample on the (rare) finish event so the
+    // timeline shows query pressure without instrumenting the access path.
+    const dsr::reachability_stats& gs = graph_.stats();
+    obs::trace_emit(obs::trace_kind::precede_sample, obs::trace_track::task,
+                    owner, gs.precede_queries, gs.memo_hits);
+  }
   if (graph_degraded_) return;
   // Algorithm 6: every task whose IEF just ended merges into the owner's
   // set (tree joins).
@@ -123,10 +196,21 @@ void race_detector::on_finish_end(task_id owner,
 
 void race_detector::on_get(task_id waiter, task_id target) {
   bump_step();
+  if (!trace_muted_) {
+    obs::trace_emit(obs::trace_kind::get, obs::trace_track::task, waiter,
+                    target);
+  }
   // Algorithm 4: tree join (merge) or non-tree join (predecessor edge).
   ++get_operations_;
   if (graph_degraded_) return;
   graph_.on_get(waiter, target);
+}
+
+void race_detector::on_program_end() {
+  // The runtime delivers on_task_end(root) before this hook (both in the
+  // normal end_root path and on exceptional unwind), so the root's "B"
+  // slice is already paired; nothing to close here. The trace file itself
+  // is written when the owning trace_session is destroyed.
 }
 
 bool race_detector::ordered(task_id before, task_id after,
@@ -139,7 +223,8 @@ bool race_detector::ordered(task_id before, task_id after,
 }
 
 void race_detector::check_read_cell(shadow_cell& cell, task_id t, site_id sid,
-                                    const void* addr, precede_cache& cache) {
+                                    const void* addr, const void* user_addr,
+                                    precede_cache& cache) {
   // Stamp elision: the same task already accessed this cell in this step
   // (no observer event in between), so every PRECEDE verdict the check
   // below would compute is unchanged and re-running it cannot alter any
@@ -163,7 +248,8 @@ void race_detector::check_read_cell(shadow_cell& cell, task_id t, site_id sid,
   }
 
   if (cell.writer != k_invalid_task && !ordered(cell.writer, t, cache)) {
-    report(addr, race_kind::write_read, cell.writer, cell.writer_site, t, sid);
+    report(addr, user_addr, race_kind::write_read, cell.writer,
+           cell.writer_site, t, sid);
   }
 
   if (!covered) {
@@ -182,7 +268,8 @@ void race_detector::check_read_cell(shadow_cell& cell, task_id t, site_id sid,
 }
 
 bool race_detector::check_write_cell(shadow_cell& cell, task_id t, site_id sid,
-                                     const void* addr, precede_cache& cache) {
+                                     const void* addr, const void* user_addr,
+                                     precede_cache& cache) {
   // Stamp elision for writes requires the stamped access to have been a
   // *write*: re-running a write after a write by the same task in the same
   // step is a no-op (readers were already retired or reported, the writer
@@ -202,14 +289,15 @@ bool race_detector::check_write_cell(shadow_cell& cell, task_id t, site_id sid,
       cell.remove_reader_at(i);
       continue;
     }
-    report(addr, race_kind::read_write, prev.task, prev.site, t, sid);
+    report(addr, user_addr, race_kind::read_write, prev.task, prev.site, t,
+           sid);
     kept_reader = true;
     ++i;
   }
 
   if (cell.writer != k_invalid_task && !ordered(cell.writer, t, cache)) {
-    report(addr, race_kind::write_write, cell.writer, cell.writer_site, t,
-           sid);
+    report(addr, user_addr, race_kind::write_write, cell.writer,
+           cell.writer_site, t, sid);
   }
 
   cell.writer = t;
@@ -223,6 +311,9 @@ bool race_detector::check_write_cell(shadow_cell& cell, task_id t, site_id sid,
 
 void race_detector::on_read(task_id t, const void* addr, std::size_t size,
                             access_site site) {
+  // The program-touched address, preserved through canonicalization so a
+  // race report can print both when they differ (a sub-element access).
+  const void* user_addr = addr;
   // Mixed-size decomposition: an access wider than its element geometry
   // covers every underlying shadow cell, not only the one at `addr` (a
   // single-cell check silently under-checks straddling accesses). Applies
@@ -239,6 +330,12 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t size,
     // lands mid-element), so all shadow tiers key the same location.
     addr = span.first;
   }
+  on_canonical_read(t, addr, user_addr, site);
+}
+
+void race_detector::on_canonical_read(task_id t, const void* addr,
+                                      const void* user_addr,
+                                      access_site site) {
   // Algorithm 9, with the add-rule read as intended (see DESIGN.md §5): the
   // reader is recorded unless a surviving parallel *async* reader already
   // covers an async reader (Lemma 4); future readers are always recorded.
@@ -250,11 +347,13 @@ void race_detector::on_read(task_id t, const void* addr, std::size_t size,
   shadow_cell* cell_ptr = shadow_.try_access(addr);
   if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
   precede_cache cache;
-  check_read_cell(*cell_ptr, t, sites_.intern(site), addr, cache);
+  check_read_cell(*cell_ptr, t, sites_.intern(site), addr,
+                  user_addr != nullptr ? user_addr : addr, cache);
 }
 
 void race_detector::on_write(task_id t, const void* addr, std::size_t size,
                              access_site site) {
+  const void* user_addr = addr;
   if (!assume_canonical_) {
     const shadow_memory::access_span span = shadow_.span_of(addr, size);
     if (span.count > 1) [[unlikely]] {
@@ -263,6 +362,12 @@ void race_detector::on_write(task_id t, const void* addr, std::size_t size,
     }
     addr = span.first;
   }
+  on_canonical_write(t, addr, user_addr, site);
+}
+
+void race_detector::on_canonical_write(task_id t, const void* addr,
+                                       const void* user_addr,
+                                       access_site site) {
   // Algorithm 8: check every stored reader and the previous writer; readers
   // that precede the write retire, racing readers stay recorded.
   ++writes_;
@@ -273,7 +378,8 @@ void race_detector::on_write(task_id t, const void* addr, std::size_t size,
   shadow_cell* cell_ptr = shadow_.try_access(addr);
   if (cell_ptr == nullptr) return;  // shadow degraded: new location untracked
   precede_cache cache;
-  check_write_cell(*cell_ptr, t, sites_.intern(site), addr, cache);
+  check_write_cell(*cell_ptr, t, sites_.intern(site), addr,
+                   user_addr != nullptr ? user_addr : addr, cache);
 }
 
 bool race_detector::try_summary_read(shadow_memory::direct_range& slab,
@@ -395,7 +501,8 @@ void race_detector::on_read_range(task_id t, const void* addr,
   const char* base = static_cast<const char*>(addr);
   for (std::size_t i = 0; i < count; ++i, ++cell) {
     sampled += cell->reader_count();
-    check_read_cell(*cell, t, sid, base + i * stride, cache);
+    const void* elem = base + i * stride;
+    check_read_cell(*cell, t, sid, elem, elem, cache);
   }
   shadow_.add_reader_samples(sampled);
   range_hits_ += count;
@@ -442,7 +549,8 @@ void race_detector::on_write_range(task_id t, const void* addr,
   const char* base = static_cast<const char*>(addr);
   for (std::size_t i = 0; i < count; ++i, ++cell) {
     sampled += cell->reader_count();
-    uniform &= check_write_cell(*cell, t, sid, base + i * stride, cache);
+    const void* elem = base + i * stride;
+    uniform &= check_write_cell(*cell, t, sid, elem, elem, cache);
   }
   shadow_.add_reader_samples(sampled);
   range_hits_ += count;
@@ -460,19 +568,63 @@ void race_detector::on_write_range(task_id t, const void* addr,
   }
 }
 
-void race_detector::report(const void* addr, race_kind kind, task_id first,
-                           site_id first_site, task_id second,
-                           site_id second_site) {
+void race_detector::report(const void* addr, const void* user_addr,
+                           race_kind kind, task_id first, site_id first_site,
+                           task_id second, site_id second_site) {
+  // Every observed race counts, duplicate or not — the Table 2 counters and
+  // racy-location set are independent of how reports are folded.
   ++races_observed_;
   racy_location_list_.push_back(addr);
-  const race_report materialized{addr, kind, first, second,
-                                 sites_.resolve(first_site),
-                                 sites_.resolve(second_site)};
+  obs::trace_emit(obs::trace_kind::race, obs::trace_track::task, second,
+                  reinterpret_cast<std::uintptr_t>(addr),
+                  static_cast<std::uint64_t>(kind));
+
+  const report_key key{first_site, second_site, addr,
+                       static_cast<std::uint8_t>(kind)};
+  const auto [slot, inserted] = report_index_.try_emplace(key, k_report_dropped);
+  if (!inserted) {
+    // Same site pair, same canonical address, same kind: fold into the
+    // first occurrence instead of burning a max_reports slot (a racy loop
+    // would otherwise exhaust the cap with identical reports). fail_fast
+    // cannot reach here — the first occurrence already threw.
+    if (slot->second != k_report_dropped) {
+      ++reports_[slot->second].occurrences;
+    }
+    return;
+  }
+
+  race_report materialized;
+  materialized.location = addr;
+  materialized.user_location = user_addr;
+  materialized.kind = kind;
+  materialized.first_task = first;
+  materialized.second_task = second;
+  materialized.first_site = sites_.resolve(first_site);
+  materialized.second_site = sites_.resolve(second_site);
+  if (!graph_degraded_) {
+    // The witness: re-run PRECEDE purely for provenance. explain() touches
+    // neither the stats counters nor the memo table, so capturing it here
+    // cannot perturb any Table 2 counter or cached verdict.
+    dsr::precede_explanation ex = graph_.explain(first, second);
+    race_witness& w = materialized.witness;
+    w.valid = true;
+    w.first_label = ex.a_label;
+    w.second_label = ex.b_label;
+    w.first_terminated = ex.a_terminated;
+    w.second_terminated = ex.b_terminated;
+    w.first_set_label = ex.a_set_label;
+    w.second_set_label = ex.b_set_label;
+    w.frontier = std::move(ex.frontier);
+    w.lsa_hops = ex.lsa_hops;
+    w.tier = shadow_.tier_name(addr);
+  }
+
   if (reports_.size() < opts_.max_reports) {
+    slot->second = reports_.size();
     reports_.push_back(materialized);
   }
   if (opts_.fail_fast) {
-    throw race_found_error(materialized);
+    throw race_found_error(std::move(materialized));
   }
 }
 

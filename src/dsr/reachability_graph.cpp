@@ -253,6 +253,94 @@ bool reachability_graph::visit(task_id a, task_id ra, task_id start) {
   return false;
 }
 
+precede_explanation reachability_graph::explain(task_id a, task_id b) {
+  precede_explanation ex;
+  if (a == k_invalid_task) {
+    ex.reachable = true;
+    return ex;
+  }
+  FUTRACE_DCHECK(a < nodes_.size() && b < nodes_.size());
+  ex.a_label = nodes_[a].own_label;
+  ex.b_label = nodes_[b].own_label;
+  ex.a_terminated = nodes_[a].terminated;
+  ex.b_terminated = nodes_[b].terminated;
+  const task_id ra = find(a);
+  const task_id rb = find(b);
+  ex.a_set_label = nodes_[ra].label;
+  ex.b_set_label = nodes_[rb].label;
+  if (a == b || ra == rb) {
+    ex.reachable = true;
+    return ex;
+  }
+  if (nodes_[ra].label.subsumes(nodes_[rb].label)) {
+    ex.reachable = true;
+    ex.by_subsumption = true;
+    return ex;
+  }
+
+  // The visit() traversal with provenance: every pushed predecessor gets a
+  // record carrying the index of the record that pushed it, so a positive
+  // answer can rebuild the edge chain and a negative one can report the
+  // whole searched frontier. Mirrors visit() exactly — cutoff, set checks,
+  // epoch marks, nt lists, LSA chain — minus the stats/memo side effects.
+  const interval_label label_a = nodes_[ra].label;
+  const std::uint64_t a_spawn_pre = nodes_[a].own_label.pre;
+  ++query_epoch_;
+
+  struct visit_rec {
+    task_id task;
+    std::int32_t parent;  // index into `visited`, -1 = pushed from b
+  };
+  std::vector<visit_rec> visited;
+  std::vector<std::int32_t> stack;  // indices into `visited`; -1 = b itself
+  stack.push_back(-1);
+
+  while (!stack.empty()) {
+    const std::int32_t idx = stack.back();
+    stack.pop_back();
+    const task_id x = idx < 0 ? b : visited[static_cast<std::size_t>(idx)].task;
+
+    if (nodes_[x].own_label.post < a_spawn_pre) continue;
+    const task_id rx = find(x);
+    if (rx == ra || label_a.subsumes(nodes_[rx].label)) {
+      for (std::int32_t i = idx; i >= 0;
+           i = visited[static_cast<std::size_t>(i)].parent) {
+        ex.frontier.push_back(visited[static_cast<std::size_t>(i)].task);
+      }
+      std::reverse(ex.frontier.begin(), ex.frontier.end());
+      ex.reachable = true;
+      return ex;
+    }
+    if (nodes_[rx].path_epoch == query_epoch_) continue;
+    nodes_[rx].path_epoch = query_epoch_;
+
+    for (const task_id p : nodes_[rx].nt) {
+      visited.push_back({p, idx});
+      stack.push_back(static_cast<std::int32_t>(visited.size()) - 1);
+    }
+    task_id v = nodes_[rx].lsa;
+    while (v != k_invalid_task) {
+      const task_id rv = find(v);
+      if (nodes_[rv].lsa_scan_epoch == query_epoch_) break;
+      nodes_[rv].lsa_scan_epoch = query_epoch_;
+      ++ex.lsa_hops;
+      for (const task_id p : nodes_[rv].nt) {
+        visited.push_back({p, idx});
+        stack.push_back(static_cast<std::int32_t>(visited.size()) - 1);
+      }
+      v = nodes_[rv].lsa;
+    }
+  }
+
+  for (const visit_rec& r : visited) {
+    if (std::find(ex.frontier.begin(), ex.frontier.end(), r.task) ==
+        ex.frontier.end()) {
+      ex.frontier.push_back(r.task);
+    }
+  }
+  return ex;
+}
+
 std::vector<task_id> reachability_graph::set_non_tree_predecessors(task_id t) {
   const task_id r = find(t);
   return {nodes_[r].nt.begin(), nodes_[r].nt.end()};

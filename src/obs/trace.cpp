@@ -1,0 +1,250 @@
+#include "futrace/obs/trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "futrace/runtime/observer.hpp"
+#include "futrace/support/json.hpp"
+
+namespace futrace::obs {
+
+namespace detail {
+std::atomic<trace_buffer*> g_trace_sink{nullptr};
+}  // namespace detail
+
+// ----------------------------------------------------------- trace_buffer
+
+trace_buffer::trace_buffer(std::size_t capacity)
+    : slots_(capacity == 0 ? 1 : capacity),
+      start_(std::chrono::steady_clock::now()) {}
+
+void trace_buffer::record(trace_kind kind, trace_track type,
+                          std::uint32_t track, std::uint64_t arg0,
+                          std::uint64_t arg1) noexcept {
+  const std::uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  trace_event& ev = slots_[idx];
+  ev.ts_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  ev.arg0 = arg0;
+  ev.arg1 = arg1;
+  ev.track = track;
+  ev.kind = kind;
+  ev.track_type = type;
+}
+
+std::uint64_t trace_buffer::recorded() const noexcept {
+  const std::uint64_t claimed = next_.load(std::memory_order_relaxed);
+  return claimed < slots_.size() ? claimed : slots_.size();
+}
+
+std::vector<trace_event> trace_buffer::events() const {
+  return {slots_.begin(),
+          slots_.begin() + static_cast<std::ptrdiff_t>(recorded())};
+}
+
+// ------------------------------------------------------- Chrome JSON export
+
+namespace {
+
+constexpr int k_pid_tasks = 1;
+constexpr int k_pid_checkers = 2;
+
+int pid_of(const trace_event& ev) {
+  return ev.track_type == trace_track::task ? k_pid_tasks : k_pid_checkers;
+}
+
+support::json event_shell(const char* name, const char* ph,
+                          const trace_event& ev) {
+  support::json j = support::json::object();
+  j["name"] = name;
+  j["ph"] = ph;
+  j["ts"] = static_cast<double>(ev.ts_ns) / 1000.0;  // microseconds
+  j["pid"] = pid_of(ev);
+  j["tid"] = static_cast<std::uint64_t>(ev.track);
+  return j;
+}
+
+support::json instant(const char* name, const char* scope,
+                      const trace_event& ev) {
+  support::json j = event_shell(name, "i", ev);
+  j["s"] = scope;
+  return j;
+}
+
+std::string hex_address(std::uint64_t addr) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(addr));
+  return buf;
+}
+
+support::json metadata(const char* what, int pid, std::uint64_t tid,
+                       bool with_tid, const std::string& name) {
+  support::json j = support::json::object();
+  j["name"] = what;
+  j["ph"] = "M";
+  j["pid"] = pid;
+  if (with_tid) j["tid"] = tid;
+  support::json args = support::json::object();
+  args["name"] = name;
+  j["args"] = std::move(args);
+  return j;
+}
+
+}  // namespace
+
+std::string to_chrome_json(const trace_buffer& buf) {
+  const std::vector<trace_event> events = buf.events();
+
+  support::json out = support::json::object();
+  support::json list = support::json::array();
+
+  // Process/thread naming metadata: one thread per task id and per checker
+  // worker index, discovered from the events themselves.
+  std::map<std::pair<int, std::uint64_t>, bool> tracks;
+  bool any_tasks = false;
+  bool any_checkers = false;
+  for (const trace_event& ev : events) {
+    tracks.emplace(std::pair{pid_of(ev), std::uint64_t{ev.track}}, true);
+    (pid_of(ev) == k_pid_tasks ? any_tasks : any_checkers) = true;
+  }
+  if (any_tasks) {
+    list.push_back(metadata("process_name", k_pid_tasks, 0, false,
+                            "futrace program tasks"));
+  }
+  if (any_checkers) {
+    list.push_back(metadata("process_name", k_pid_checkers, 0, false,
+                            "futrace race checkers"));
+  }
+  for (const auto& [key, unused] : tracks) {
+    (void)unused;
+    const char* prefix = key.first == k_pid_tasks ? "task " : "checker ";
+    list.push_back(metadata("thread_name", key.first, key.second, true,
+                            prefix + std::to_string(key.second)));
+  }
+
+  // "E" events reuse the matching "B" name; unmatched ends (a task still
+  // live when the buffer filled) close as a generic "task" slice.
+  std::map<std::uint64_t, std::vector<const char*>> open_slices;
+
+  for (const trace_event& ev : events) {
+    switch (ev.kind) {
+      case trace_kind::task_begin: {
+        const char* name =
+            task_kind_name(static_cast<task_kind>(ev.arg0));
+        support::json j = event_shell(name, "B", ev);
+        support::json args = support::json::object();
+        args["task"] = static_cast<std::uint64_t>(ev.track);
+        args["parent"] = ev.arg1;
+        j["args"] = std::move(args);
+        list.push_back(std::move(j));
+        open_slices[ev.track].push_back(name);
+        break;
+      }
+      case trace_kind::task_end: {
+        std::vector<const char*>& stack = open_slices[ev.track];
+        const char* name = stack.empty() ? "task" : stack.back();
+        if (!stack.empty()) stack.pop_back();
+        list.push_back(event_shell(name, "E", ev));
+        break;
+      }
+      case trace_kind::finish: {
+        support::json j = instant("finish", "t", ev);
+        support::json args = support::json::object();
+        args["joined"] = ev.arg0;
+        j["args"] = std::move(args);
+        list.push_back(std::move(j));
+        break;
+      }
+      case trace_kind::get: {
+        support::json j = instant("get", "t", ev);
+        support::json args = support::json::object();
+        args["target"] = ev.arg0;
+        j["args"] = std::move(args);
+        list.push_back(std::move(j));
+        break;
+      }
+      case trace_kind::put:
+        list.push_back(instant("put", "t", ev));
+        break;
+      case trace_kind::race: {
+        support::json j = instant("race", "p", ev);
+        support::json args = support::json::object();
+        args["location"] = hex_address(ev.arg0);
+        args["kind"] = ev.arg1;
+        j["args"] = std::move(args);
+        list.push_back(std::move(j));
+        break;
+      }
+      case trace_kind::slab_materialize: {
+        support::json j = instant("slab_materialize", "p", ev);
+        support::json args = support::json::object();
+        args["cells"] = ev.arg0;
+        j["args"] = std::move(args);
+        list.push_back(std::move(j));
+        break;
+      }
+      case trace_kind::precede_sample: {
+        support::json j = event_shell("precede", "C", ev);
+        support::json args = support::json::object();
+        args["queries"] = ev.arg0;
+        args["memo_hits"] = ev.arg1;
+        j["args"] = std::move(args);
+        list.push_back(std::move(j));
+        break;
+      }
+      case trace_kind::ring_stall:
+        list.push_back(instant("ring_stall", "t", ev));
+        break;
+      case trace_kind::takeover:
+        list.push_back(instant("takeover", "t", ev));
+        break;
+      case trace_kind::worker_death:
+        list.push_back(instant("worker_death", "t", ev));
+        break;
+    }
+  }
+
+  out["traceEvents"] = std::move(list);
+  out["displayTimeUnit"] = "ms";
+  support::json other = support::json::object();
+  other["recorded_events"] = buf.recorded();
+  other["dropped_events"] = buf.dropped();
+  out["otherData"] = std::move(other);
+  return out.dump(1);
+}
+
+// ----------------------------------------------------------- trace_session
+
+trace_session::trace_session(std::string path, std::size_t capacity)
+    : path_(std::move(path)),
+      buf_(std::make_unique<trace_buffer>(capacity)) {
+  previous_ = detail::g_trace_sink.exchange(buf_.get());
+}
+
+trace_session::~trace_session() {
+  detail::g_trace_sink.store(previous_);
+  if (!path_.empty()) (void)write(path_);
+}
+
+bool trace_session::write(const std::string& path) const {
+  const std::string doc = to_json();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const std::size_t written = std::fwrite(doc.data(), 1, doc.size(), f);
+  const bool ok = written == doc.size() && std::fclose(f) == 0;
+  if (!ok) std::fprintf(stderr, "trace: short write to %s\n", path.c_str());
+  return ok;
+}
+
+}  // namespace futrace::obs

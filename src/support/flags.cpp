@@ -16,7 +16,25 @@ flag_parser& flag_parser::define(const std::string& name,
 }
 
 void flag_parser::parse(int argc, char** argv) {
+  const parse_result result = try_parse(argc, argv);
+  for (const std::string& w : result.warnings) {
+    std::fprintf(stderr, "warning: %s\n", w.c_str());
+  }
+  if (result.help_requested) {
+    std::fputs(usage().c_str(), stdout);
+    std::exit(0);
+  }
+  if (!result.ok) {
+    std::fprintf(stderr, "%s\n%s", result.error.c_str(), usage().c_str());
+    std::exit(2);
+  }
+}
+
+flag_parser::parse_result flag_parser::try_parse(int argc, char** argv) {
+  parse_result result;
   program_name_ = argc > 0 ? argv[0] : "futrace";
+  warnings_.clear();
+  for (auto& [name, info] : flags_) info.set = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -25,8 +43,8 @@ void flag_parser::parse(int argc, char** argv) {
     }
     arg = arg.substr(2);
     if (arg == "help") {
-      std::fputs(usage().c_str(), stdout);
-      std::exit(0);
+      result.help_requested = true;
+      return result;
     }
     std::string name;
     std::string value;
@@ -50,12 +68,23 @@ void flag_parser::parse(int argc, char** argv) {
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) {
-      std::fprintf(stderr, "unknown flag --%s\n%s", name.c_str(),
-                   usage().c_str());
-      std::exit(2);
+      result.ok = false;
+      result.error = "unknown flag --" + name;
+      result.warnings = warnings_;
+      return result;
+    }
+    if (it->second.set && it->second.value != value) {
+      // Last one wins — but a silent override has hidden typoed benchmark
+      // invocations (e.g. --scale given twice), so say it out loud.
+      warnings_.push_back("duplicate flag --" + name + ": '" +
+                          it->second.value + "' overridden by '" + value +
+                          "'");
     }
     it->second.value = value;
+    it->second.set = true;
   }
+  result.warnings = warnings_;
+  return result;
 }
 
 std::string flag_parser::get_string(const std::string& name) const {

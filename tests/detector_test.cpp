@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <source_location>
+#include <string>
+
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/runtime/runtime.hpp"
 
@@ -394,6 +398,155 @@ TEST(DetectorReports, CapRespectedButCountingContinues) {
   EXPECT_EQ(det.reports().size(), 4u);
   EXPECT_EQ(det.race_count(), 16u);
   EXPECT_EQ(det.racy_locations().size(), 16u);
+}
+
+// A racy loop hitting the same (site pair, location, kind) used to emit one
+// report per iteration, exhausting max_reports with 64 copies of the same
+// line and silencing every later distinct race. Now duplicates fold into
+// the first report's occurrence counter.
+TEST(DetectorReports, DuplicateRacesFoldIntoOneReport) {
+  race_detector det({.max_reports = 64});
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  shared<int> x(0);
+  shared<int> y(0);
+  rt.run([&] {
+    for (int i = 0; i < 100; ++i) {
+      async([&x] { x.write(1); });  // every iteration: same sites, same cell
+    }
+    async([&y] { y.write(1); });
+    (void)y.read();  // distinct race, after 99 duplicates
+  });
+  // 99 write-write occurrences of the x race (each new writer against the
+  // previous one), all folded; the y write-read race still gets its report.
+  ASSERT_EQ(det.reports().size(), 2u);
+  EXPECT_EQ(det.reports()[0].occurrences, 99u);
+  EXPECT_EQ(det.reports()[1].occurrences, 1u);
+  EXPECT_EQ(det.reports()[1].kind, race_kind::write_read);
+  // The fold is presentation-only: observed-race and racy-location counts
+  // still see every occurrence.
+  EXPECT_EQ(det.race_count(), 100u);
+  const std::string text = det.reports()[0].to_string();
+  EXPECT_NE(text.find("seen 99x"), std::string::npos) << text;
+  EXPECT_EQ(det.reports()[1].to_string().find("seen"), std::string::npos);
+}
+
+TEST(DetectorReports, DuplicatesOfCappedOutReportsStayFolded) {
+  // First fill the report table with distinct races, then race repeatedly
+  // on one more location: its first occurrence is dropped by the cap, and
+  // the duplicates must keep being recognized (not re-tried) each round.
+  race_detector det({.max_reports = 2});
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([] {
+    shared_array<int> a(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      async([&a, i] { a.write(i, 1); });
+      async([&a, i] { a.write(i, 2); });
+    }
+    for (int r = 0; r < 5; ++r) {
+      async([&a] { a.write(2, 9); });  // duplicates of the capped-out race
+    }
+  });
+  EXPECT_EQ(det.reports().size(), 2u);
+  EXPECT_GE(det.race_count(), 8u);
+}
+
+TEST(DetectorReports, SubElementAccessReportsTouchedAddress) {
+  // A 4-byte access at offset 3 of an 8-byte element straddles no element
+  // boundary but is unaligned, so span_of canonicalizes it to the element
+  // base. The report must carry both: the canonical cell (stable location
+  // identity) and the address the program actually touched.
+  race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  shared_array<std::uint64_t> a(4);
+  const void* canonical = a.address(1);
+  const void* touched = static_cast<const char*>(canonical) + 3;
+  rt.run([&] {
+    async([&] {
+      futrace::detail::instrument_write(touched, 4,
+                                        std::source_location::current());
+    });
+    futrace::detail::instrument_write(touched, 4,
+                                      std::source_location::current());
+  });
+  ASSERT_EQ(det.reports().size(), 1u);
+  const race_report& r = det.reports()[0];
+  EXPECT_EQ(r.location, canonical);
+  EXPECT_EQ(r.user_location, touched);
+  const std::string text = r.to_string();
+  EXPECT_NE(text.find("touched"), std::string::npos) << text;
+
+  // Element-base accesses have nothing extra to say: no "touched" clause.
+  race_detector det2;
+  runtime rt2({.mode = exec_mode::serial_dfs});
+  rt2.add_observer(&det2);
+  shared<int> x(0);
+  rt2.run([&] {
+    async([&x] { x.write(1); });
+    x.write(2);
+  });
+  ASSERT_EQ(det2.reports().size(), 1u);
+  EXPECT_EQ(det2.reports()[0].location, det2.reports()[0].user_location);
+  EXPECT_EQ(det2.reports()[0].to_string().find("touched"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ witness
+
+TEST(DetectorWitness, CarriesLabelsFrontierAndTier) {
+  race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  shared<int> x(0);
+  rt.run([&] {
+    async([&x] { x.write(1); });  // task 1
+    x.write(2);                   // root, while task 1 is unjoined
+  });
+  ASSERT_EQ(det.reports().size(), 1u);
+  const race_witness& w = det.reports()[0].witness;
+  ASSERT_TRUE(w.valid);
+  // Serial DFS ran task 1 to completion before the root's write: its
+  // interval is final; the root is still live (temporary postorder).
+  EXPECT_TRUE(w.first_terminated);
+  EXPECT_FALSE(w.second_terminated);
+  EXPECT_NE(w.first_label.pre, w.second_label.pre);
+  // The DSR proves non-ordering from the labels alone here: no non-tree
+  // predecessor frontier was searched.
+  EXPECT_TRUE(w.frontier.empty());
+  EXPECT_EQ(w.lsa_hops, 0u);
+  EXPECT_STRNE(w.tier, "");
+  const std::string text = det.reports()[0].to_string();
+  EXPECT_NE(text.find("||"), std::string::npos) << text;
+  EXPECT_NE(text.find(w.tier), std::string::npos) << text;
+}
+
+TEST(DetectorWitness, FrontierListsSearchedPredecessors) {
+  // The racy task has a non-tree predecessor (a get of an unrelated
+  // future), so the failed PRECEDE query had to search its predecessor
+  // frontier before declaring the accesses unordered — and the witness
+  // must show what was searched.
+  race_detector det;
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  shared<int> x(0);
+  rt.run([&] {
+    auto writer = async_future([&x] { x.write(1); });  // task 1, never joined
+    auto other = async_future([] { return 7; });       // task 2
+    async([&x, other] {
+      (void)other.get();  // non-tree pred of task 3: task 2, not task 1
+      x.write(2);         // races with task 1's write
+    });
+    (void)writer;
+  });
+  ASSERT_EQ(det.reports().size(), 1u);
+  const race_witness& w = det.reports()[0].witness;
+  ASSERT_TRUE(w.valid);
+  EXPECT_TRUE(w.first_terminated);     // task 1 completed at spawn (DFS)
+  EXPECT_FALSE(w.second_terminated);   // task 3 is mid-write
+  EXPECT_FALSE(w.frontier.empty());    // task 2's label was searched
+  const std::string text = det.reports()[0].to_string();
+  EXPECT_NE(text.find("frontier"), std::string::npos) << text;
 }
 
 }  // namespace

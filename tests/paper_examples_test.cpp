@@ -136,6 +136,38 @@ TEST(PaperAppendixA, HandleCellsThemselvesRace) {
     });
   });
   EXPECT_TRUE(det.race_detected());
+
+  // The report's witness, checked against the hand-derived spawn-tree
+  // numbering. Depth-first preorder: root=0, writer async=1, the inner
+  // async_future=2 (runs to completion before the write), reader async=3.
+  // Postorder ids: task 2 finishes with post 3, task 1 with post 4; task 3
+  // is mid-read at query time, so its postorder is still temporary ("*").
+  ASSERT_EQ(det.reports().size(), 1u);
+  const detect::race_report& r = det.reports()[0];
+  EXPECT_EQ(r.kind, detect::race_kind::write_read);
+  EXPECT_EQ(r.first_task, 1u);
+  EXPECT_EQ(r.second_task, 3u);
+  EXPECT_EQ(r.occurrences, 1u);
+  const detect::race_witness& w = r.witness;
+  ASSERT_TRUE(w.valid);
+  EXPECT_EQ(w.first_label.pre, 1u);
+  EXPECT_EQ(w.first_label.post, 4u);
+  EXPECT_TRUE(w.first_terminated);
+  EXPECT_EQ(w.second_label.pre, 5u);
+  EXPECT_FALSE(w.second_terminated);
+  // [1,4] does not contain 5, so the labels alone prove non-ordering: no
+  // non-tree predecessor of task 3 existed to search (its get() comes
+  // after the racy read), and no LSA chain was walked.
+  EXPECT_TRUE(w.frontier.empty());
+  EXPECT_EQ(w.lsa_hops, 0u);
+  // A bare shared<> scalar lives in the hashed shadow tier (only
+  // shared_array regions direct-map).
+  EXPECT_STREQ(w.tier, "hashed");
+
+  const std::string text = r.to_string();
+  EXPECT_NE(text.find("[1,4]"), std::string::npos) << text;
+  EXPECT_NE(text.find("[5,*]"), std::string::npos) << text;
+  EXPECT_NE(text.find("hashed tier"), std::string::npos) << text;
 }
 
 // Serial elision equivalence (§A.1): a race-free future program computes the

@@ -387,6 +387,55 @@ TEST(PipelineFaults, KilledWorkerDegradesToInlineChecking) {
   expect_degrades_not_deadlocks(plan, body, /*expect_death=*/true);
 }
 
+TEST(PipelineFaults, KilledWorkerCountersMergeExactly) {
+  // The death drain applies every complete ring event into the dead
+  // worker's own detector and discards only the partial tail (which the
+  // producer re-sends inline to that same detector, in order). Each event
+  // is therefore applied exactly once to exactly the detector its shard
+  // owns — so a killed run must match a clean run at the same width on
+  // EVERY counter, engine-tier diagnostics included, not just the paper
+  // surface.
+  shared_array<int> data(256);
+  shared<int> cell;
+  auto body = [&] {
+    finish([&] {
+      for (int t = 0; t < 6; ++t) {
+        async([&, t] {
+          for (std::size_t i = 0; i < data.size(); ++i) {
+            (void)data.read(i);
+            data.write(i, t);
+          }
+          cell.write(t);
+        });
+      }
+    });
+  };
+  const pipelined_detector clean = run_pipelined(opts_with_threads(4), body);
+  ASSERT_EQ(clean.pipe_stats().workers_died, 0u);
+
+  for (const std::uint64_t kill_at : {1u, 75u, 400u}) {
+    inject::fault_plan plan;
+    plan.pipe_kill_at = kill_at;
+    inject::fault_injector::counters fired;
+    const pipelined_detector killed = run_with_plan(plan, 4, body, &fired);
+    ASSERT_EQ(fired.pipe_kills, 1u) << "kill@" << kill_at;
+    EXPECT_EQ(killed.pipe_stats().workers_died, 1u) << "kill@" << kill_at;
+
+    const detect::detector_counters a = killed.counters();
+    const detect::detector_counters b = clean.counters();
+    const std::string label = "kill@" + std::to_string(kill_at);
+    expect_paper_counters_equal(a, b, label.c_str());
+    EXPECT_EQ(a.direct_hits, b.direct_hits) << label;
+    EXPECT_EQ(a.hashed_hits, b.hashed_hits) << label;
+    EXPECT_EQ(a.memo_hits, b.memo_hits) << label;
+    EXPECT_EQ(a.stamp_hits, b.stamp_hits) << label;
+    EXPECT_EQ(a.precede_queries, b.precede_queries) << label;
+    EXPECT_EQ(a.range_events, b.range_events) << label;
+    EXPECT_EQ(a.range_hits, b.range_hits) << label;
+    EXPECT_EQ(a.summary_hits, b.summary_hits) << label;
+  }
+}
+
 TEST(PipelineFaults, StalledWorkerOnlyDelaysVerdicts) {
   shared_array<int> data(64);
   auto body = [&] {

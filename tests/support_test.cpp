@@ -298,6 +298,106 @@ TEST(Flags, PositionalArgumentsCollected) {
   EXPECT_EQ(p.positional()[1], "beta");
 }
 
+TEST(Flags, DuplicateKeepsLastValueAndWarns) {
+  flag_parser p;
+  p.define("scale", "1", "size multiplier");
+  const char* argv[] = {"prog", "--scale=2", "--scale=8"};
+  const auto result = p.try_parse(3, const_cast<char**>(argv));
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(p.get_int("scale"), 8);  // last one wins
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("duplicate flag --scale"),
+            std::string::npos);
+  EXPECT_NE(result.warnings[0].find("'2' overridden by '8'"),
+            std::string::npos);
+  EXPECT_EQ(p.warnings(), result.warnings);
+}
+
+TEST(Flags, DuplicateWithSameValueIsQuiet) {
+  flag_parser p;
+  p.define("json", "false", "emit json");
+  const char* argv[] = {"prog", "--json=true", "--json=true"};
+  const auto result = p.try_parse(3, const_cast<char**>(argv));
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(p.get_bool("json"));
+  EXPECT_TRUE(result.warnings.empty());
+}
+
+TEST(Flags, TryParseReportsUnknownFlagWithoutExiting) {
+  flag_parser p;
+  p.define("n", "1", "count");
+  const char* argv[] = {"prog", "--bogus=3"};
+  const auto result = p.try_parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("unknown flag --bogus"), std::string::npos);
+}
+
+TEST(Flags, TryParseReportsHelp) {
+  flag_parser p;
+  p.define("n", "1", "count");
+  const char* argv[] = {"prog", "--help"};
+  const auto result = p.try_parse(2, const_cast<char**>(argv));
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.help_requested);
+}
+
+TEST(Flags, SetFlagsResetBetweenParses) {
+  flag_parser p;
+  p.define("n", "1", "count");
+  const char* argv1[] = {"prog", "--n=5"};
+  EXPECT_TRUE(p.try_parse(2, const_cast<char**>(argv1)).ok);
+  // A second parse must not see the first parse's assignment as a
+  // duplicate of its own.
+  const char* argv2[] = {"prog", "--n=7"};
+  const auto result = p.try_parse(2, const_cast<char**>(argv2));
+  EXPECT_TRUE(result.warnings.empty());
+  EXPECT_EQ(p.get_int("n"), 7);
+}
+
+// The exact flag vocabulary of the bench/tool drivers, as regression cover
+// for their real invocations (CI calls these with duplicates impossible,
+// but a typoed doubled flag must warn, not silently drop a value).
+TEST(Flags, Table2FlagSetParses) {
+  flag_parser p;
+  p.define("scale", "1", "")
+      .define("repeats", "3", "")
+      .define("json", "false", "")
+      .define("json-out", "BENCH_table2.json", "")
+      .define("no-fastpath", "false", "")
+      .define("detect-threads", "0", "")
+      .define("rows", "", "")
+      .define("trace", "", "");
+  const char* argv[] = {"prog",          "--scale=2",   "--repeats", "5",
+                        "--json",        "--rows=Jacobi", "--scale=4"};
+  const auto result = p.try_parse(7, const_cast<char**>(argv));
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(p.get_int("scale"), 4);
+  EXPECT_EQ(p.get_int("repeats"), 5);
+  EXPECT_TRUE(p.get_bool("json"));
+  EXPECT_EQ(p.get_string("rows"), "Jacobi");
+  ASSERT_EQ(result.warnings.size(), 1u);
+  EXPECT_NE(result.warnings[0].find("duplicate flag --scale"),
+            std::string::npos);
+}
+
+TEST(Flags, FaultSoakFlagSetParses) {
+  flag_parser p;
+  p.define("seeds", "200", "")
+      .define("seed-base", "1", "")
+      .define("watchdog-ms", "600", "")
+      .define("stress-accesses", "0", "")
+      .define("pipe-seeds", "0", "")
+      .define("metrics-out", "", "");
+  const char* argv[] = {"prog", "--seeds", "12", "--watchdog-ms=250",
+                        "--metrics-out=/tmp/m.json"};
+  const auto result = p.try_parse(5, const_cast<char**>(argv));
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.warnings.empty());
+  EXPECT_EQ(p.get_int("seeds"), 12);
+  EXPECT_EQ(p.get_int("watchdog-ms"), 250);
+  EXPECT_EQ(p.get_string("metrics-out"), "/tmp/m.json");
+}
+
 // --------------------------------------------------------------------- ptr_map
 
 TEST(PtrMap, InsertAndFind) {

@@ -17,7 +17,10 @@
 // Arrays of objects are matched by their "name" member when present so row
 // order does not matter; other arrays are matched by index. Keys present in
 // the baseline but missing from the candidate produce a warning, not a
-// failure, so schemas can evolve.
+// failure, so schemas can evolve — EXCEPT the paper counters of the shared
+// obs/metrics schema (tasks, precede_queries, ...): those are the measured
+// claims of Table 2, and a candidate that silently stops reporting one is
+// gated, not excused. Keys only the candidate has are advisory warnings.
 
 #include <cctype>
 #include <cstdio>
@@ -27,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "futrace/obs/metrics.hpp"
 #include "futrace/support/json.hpp"
 
 namespace {
@@ -40,6 +44,7 @@ enum class key_class {
   rate,
   counter,
   boolean,
+  missing_paper,  // paper counter absent from the candidate; always gated
 };
 
 struct finding {
@@ -108,11 +113,25 @@ void diff_object(const std::string& path, const json& base, const json& cand,
   for (const auto& [key, base_member] : base.members()) {
     const json* cand_member = cand.find(key);
     if (cand_member == nullptr) {
-      warnings.push_back("candidate is missing " + path + "/" + key);
+      if (futrace::obs::is_paper_counter(key)) {
+        out.push_back({path + "/" + key, key_class::missing_paper,
+                       base_member.is_number() ? base_member.as_double() : 0,
+                       0, -100.0, true});
+      } else {
+        warnings.push_back("candidate is missing " + path + "/" + key);
+      }
       continue;
     }
     diff_value(path + "/" + key, key, base_member, *cand_member, cfg, out,
                warnings);
+  }
+  // The reverse direction — keys only the candidate reports — cannot be a
+  // regression of anything the baseline measured, so it stays advisory.
+  for (const auto& [key, cand_member] : cand.members()) {
+    (void)cand_member;
+    if (base.find(key) == nullptr) {
+      warnings.push_back("candidate adds unknown key " + path + "/" + key);
+    }
   }
 }
 
@@ -227,6 +246,9 @@ int report(const std::vector<finding>& findings,
       case key_class::rate: why = "hit rate dropped"; break;
       case key_class::counter: why = "counter grew"; break;
       case key_class::boolean: why = "flag flipped to false"; break;
+      case key_class::missing_paper:
+        why = "paper counter missing from candidate";
+        break;
       default: break;
     }
     std::printf("%-10s %s: %.6g -> %.6g (%+.1f%%, %s)\n", tag,
@@ -312,7 +334,7 @@ int self_test() {
          "--strict-time still does not gate occupancy");
   cfg.strict_time = false;
 
-  // Missing keys warn instead of failing.
+  // Missing keys warn instead of failing — unless they are paper counters.
   {
     std::vector<finding> findings;
     std::vector<std::string> warnings;
@@ -320,6 +342,24 @@ int self_test() {
                json::parse(R"({"tasks": 1})"), cfg, findings, warnings);
     expect(findings.empty() && warnings.size() == 1,
            "missing candidate keys warn");
+  }
+  expect(run(R"({"counters": {"precede_queries": 100}})",
+             R"({"counters": {}})") == 1,
+         "missing paper counter is gated");
+  expect(run(R"({"counters": {"tasks": 7, "races_observed": 0}})",
+             R"({"counters": {"races_observed": 0}})") == 1,
+         "dropping the tasks counter is gated");
+  // Candidate-only keys are advisory: a schema can grow without a baseline
+  // refresh, but the addition is surfaced.
+  {
+    std::vector<finding> findings;
+    std::vector<std::string> warnings;
+    diff_value("", "", json::parse(R"({"tasks": 1})"),
+               json::parse(R"({"tasks": 1, "novel_metric": 3})"), cfg,
+               findings, warnings);
+    expect(findings.empty() && warnings.size() == 1 &&
+               warnings[0].find("novel_metric") != std::string::npos,
+           "candidate-only keys warn without gating");
   }
 
   if (failures == 0) std::printf("bench_diff self-test: all checks passed\n");

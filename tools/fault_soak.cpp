@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdint>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "futrace/detect/pipeline.hpp"
 #include "futrace/detect/race_detector.hpp"
 #include "futrace/inject/fault_injector.hpp"
+#include "futrace/obs/metrics.hpp"
 #include "futrace/progen/random_program.hpp"
 #include "futrace/runtime/runtime.hpp"
 #include "futrace/support/flags.hpp"
@@ -535,7 +537,7 @@ void soak_pipelined_seed(std::uint64_t seed) {
 
 // ---- Resource-cap acceptance: big trace against a capped shadow memory -----
 
-int run_stress(std::uint64_t accesses) {
+int run_stress(std::uint64_t accesses, const std::string& metrics_out) {
   constexpr std::size_t k_locations = 1u << 17;
   constexpr std::size_t k_shadow_cap = 1u << 20;  // 1 MiB
   inject::fault_plan plan;
@@ -587,6 +589,29 @@ int run_stress(std::uint64_t accesses) {
     std::printf("FAIL stress: race invented on a race-free trace\n");
     rc = 1;
   }
+
+  // One registry snapshot over every engine the stress run exercised —
+  // detector, shadow tiers, reachability graph, fault injector — in the
+  // same nested schema the bench rows use, so bench_diff can gate it.
+  if (!metrics_out.empty()) {
+    obs::metrics_registry reg;
+    obs::add_detector_source(reg, [&det] { return det.counters(); });
+    obs::add_shadow_source(reg, [&det] { return det.storage_stats(); });
+    obs::add_reachability_source(reg,
+                                 [&det] { return det.reachability_stats(); });
+    obs::add_fault_source(reg, [&inj] { return inj.snapshot(); });
+    const obs::metrics_snapshot snap = reg.snapshot();
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::printf("FAIL stress: cannot open %s for writing\n",
+                  metrics_out.c_str());
+      return 1;
+    }
+    out << snap.to_json().dump();
+    std::printf("stress: wrote %zu metrics from %zu sources to %s\n",
+                snap.entries().size(), reg.source_count(),
+                metrics_out.c_str());
+  }
   return rc;
 }
 
@@ -604,11 +629,14 @@ int main(int argc, char** argv) {
   flags.define("pipe-seeds", "0",
                "run only the pipelined-detector soak with N seeds "
                "instead of the full soak");
+  flags.define("metrics-out", "",
+               "with --stress-accesses: write an obs registry snapshot "
+               "(detector/shadow/reachability/fault) to this JSON path");
   flags.parse(argc, argv);
 
   const std::uint64_t stress =
       static_cast<std::uint64_t>(flags.get_int("stress-accesses"));
-  if (stress > 0) return run_stress(stress);
+  if (stress > 0) return run_stress(stress, flags.get_string("metrics-out"));
 
   const std::uint64_t seeds =
       static_cast<std::uint64_t>(flags.get_int("seeds"));
