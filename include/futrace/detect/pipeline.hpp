@@ -128,6 +128,10 @@ class pipelined_detector final : public execution_observer {
   std::size_t memory_bytes() const;
   const pipeline_stats& pipe_stats() const;
 
+  /// Per-rule suppression hit counts (index-aligned with the rules of
+  /// options::suppressions), summed across shards in pipelined mode.
+  std::vector<std::uint64_t> suppression_hits() const;
+
   /// True when events are being streamed to checker threads (false in
   /// inline mode: detect_threads == 0, fail_fast, or a refused ring
   /// allocation at construction).

@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "futrace/detect/race_report.hpp"
@@ -35,6 +36,20 @@ namespace futrace::detect {
 /// during which the reachability graph cannot change, so both verdict
 /// polarities are cacheable.
 struct precede_cache;
+
+/// Known-race filter loaded from --suppressions=FILE (suppressions.hpp).
+class suppression_set;
+
+/// Why a detector stopped materializing state (or reports), as a bitmask so
+/// soak runs can distinguish benign throttling from real capacity loss.
+/// degraded() covers only the capacity bits; the error-limit bit is benign
+/// (paper counters stay exact, only report materialization is bounded).
+enum degradation_reason : std::uint32_t {
+  k_degraded_shadow_cap = 1u << 0,   // shadow byte cap / failed allocation
+  k_degraded_graph_cap = 1u << 1,    // task-vertex cap / failed allocation
+  k_degraded_worker_death = 1u << 2, // pipelined worker died, inline fallback
+  k_degraded_error_limit = 1u << 3,  // report throttling engaged (benign)
+};
 
 /// The per-execution statistics of Table 2, plus detector internals.
 struct detector_counters {
@@ -59,6 +74,22 @@ struct detector_counters {
   /// detector to stop materializing state; counts above keep counting, but
   /// race reports from that point on are incomplete.
   bool degraded = false;
+  /// degradation_reason bits explaining `degraded` (plus the benign
+  /// error-limit bit, which does not set `degraded`).
+  std::uint32_t degradation_reasons = 0;
+
+  // -- service mode (DESIGN.md §12) ------------------------------------------
+  /// Distinct race site pairs that arrived after max_reports was exhausted
+  /// and were therefore not materialized ("N further distinct race sites
+  /// not shown").
+  std::uint64_t reports_capped = 0;
+  /// Successful quiescent-point epoch compactions.
+  std::uint64_t epoch_resets = 0;
+  /// Races matched by a suppression rule (counted in races_observed too).
+  std::uint64_t suppressed_races = 0;
+  /// Races dropped by the per-pair/global error limits (counted in
+  /// races_observed too).
+  std::uint64_t errors_throttled = 0;
 
   // -- fast-path instrumentation (see DESIGN.md "Performance architecture")
   /// Accesses served by a direct-mapped shared_array slab (no hashing).
@@ -143,6 +174,26 @@ class race_detector final : public execution_observer {
     /// the default — means no session is installed and the trace hooks stay
     /// a single predicted-untaken branch.
     std::string trace_path{};
+
+    // -- service mode (DESIGN.md §12) ----------------------------------------
+    /// Every N spawns, attempt a quiescent-point epoch compaction: retire
+    /// finalized reachability vertices, free cold shadow slabs of
+    /// unregistered regions, and shrink the hashed shadow tier, so
+    /// steady-state RSS plateaus under streaming workloads. 0 — the
+    /// default — disables compaction. Verdicts and paper counters are
+    /// bit-identical either way.
+    std::size_t epoch_reset_interval = 0;
+    /// Known/accepted races to filter (non-owning; must outlive the
+    /// detector). Matched races count in races_observed and the racy
+    /// location set but are neither materialized nor allowed to trip
+    /// fail_fast; per-rule hit counts are kept in suppression_hits().
+    const suppression_set* suppressions = nullptr;
+    /// Valgrind-style "too many errors, disabling further reporting at this
+    /// site": after this many reports for one (site, site) pair, further
+    /// races at that pair are counted but not materialized. 0 = unlimited.
+    std::uint64_t error_limit_per_pair = 0;
+    /// Global counterpart of error_limit_per_pair. 0 = unlimited.
+    std::uint64_t error_limit_global = 0;
   };
 
   race_detector();
@@ -211,10 +262,41 @@ class race_detector final : public execution_observer {
   /// True once a resource cap or injected allocation failure made the
   /// detector stop materializing state. Sticky; the detector stays fully
   /// queryable, but reports after the degradation point are incomplete.
+  /// Excludes the benign error-limit reason (see degradation_reasons()).
   bool degraded() const noexcept {
     return graph_degraded_ || shadow_.degraded();
   }
+
+  /// Bitmask of degradation_reason explaining degraded(), plus the benign
+  /// k_degraded_error_limit bit when report throttling engaged.
+  std::uint32_t degradation_reasons() const noexcept {
+    std::uint32_t r = 0;
+    if (shadow_.degraded()) r |= k_degraded_shadow_cap;
+    if (graph_degraded_) r |= k_degraded_graph_cap;
+    if (error_limited_) r |= k_degraded_error_limit;
+    return r;
+  }
+
   const std::vector<race_report>& reports() const noexcept { return reports_; }
+
+  /// Distinct race site pairs dropped after max_reports was exhausted; when
+  /// non-zero, report renderers should append "N further distinct race
+  /// sites not shown".
+  std::uint64_t reports_capped() const noexcept { return reports_capped_; }
+
+  /// Successful epoch compactions (options::epoch_reset_interval).
+  std::uint64_t epoch_resets() const noexcept { return epoch_resets_; }
+
+  /// Per-rule hit counts, index-aligned with options::suppressions' rules.
+  const std::vector<std::uint64_t>& suppression_hits() const noexcept {
+    return suppression_hits_;
+  }
+
+  /// Total suppressed races (sum of suppression_hits()).
+  std::uint64_t suppressed_races() const noexcept { return suppressed_; }
+
+  /// Races dropped by the error limits.
+  std::uint64_t errors_throttled() const noexcept { return errors_throttled_; }
 
   /// Distinct locations with at least one detected race, sorted by address.
   /// This is the unit of Theorem 2's guarantee and what the property tests
@@ -241,9 +323,13 @@ class race_detector final : public execution_observer {
   /// True iff the task can still be joined by a later get(): future tasks
   /// and tasks that fulfilled a promise. Lemma 4's one-async-reader coverage
   /// only applies to tasks joinable exclusively through finish, so the read
-  /// rule keys on this.
+  /// rule keys on this. The cell checks never reach a task retired by epoch
+  /// compaction (retired readers are ordered, hence removed, first), so the
+  /// retired answer is a conservative placeholder.
   bool is_joinable(task_id t) const {
-    return kinds_[t] == task_kind::future || put_flags_[t];
+    const dsr::task_id i = graph_.id_map().to_index(t);
+    if (i == dsr::k_invalid_task) return false;
+    return kinds_[i] == task_kind::future || put_flags_[i];
   }
 
  private:
@@ -253,6 +339,15 @@ class race_detector final : public execution_observer {
   void report(const void* addr, const void* user_addr, race_kind kind,
               task_id first, site_id first_site, task_id second,
               site_id second_site);
+
+  /// Epoch compaction (options::epoch_reset_interval): once the interval
+  /// has elapsed, every non-continuation spawn whose parent is the
+  /// root-chain tip is a quiescence candidate; the graph verifies and
+  /// compacts, then the detector compacts its id-indexed mirrors and the
+  /// shadow tiers. Continuation splits are excluded because they can fire
+  /// from a noexcept unwind context (~spawn_scope).
+  void maybe_epoch_reset(task_id parent, task_kind kind);
+  void compact_local_state();
 
   /// PRECEDE with the run-local verdict cache (sound for the duration of
   /// one observer event; see precede_cache).
@@ -316,6 +411,32 @@ class race_detector final : public execution_observer {
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t promise_puts_ = 0;
+  // Per-kind spawn tallies (kinds_ is compacted by epoch resets, so the
+  // Table 2 counters cannot be derived from it by iteration).
+  std::uint64_t tasks_spawned_ = 0;
+  std::uint64_t async_tasks_ = 0;
+  std::uint64_t future_tasks_ = 0;
+  std::uint64_t continuation_tasks_ = 0;
+  // -- service mode ----------------------------------------------------------
+  /// The root task's continuation chain (every identity it has split into):
+  /// at a spawn whose parent is the chain tip these are exactly the live
+  /// tasks, which is when epoch compaction can run.
+  std::vector<task_id> root_chain_;
+  task_id root_chain_tip_ = k_invalid_task;
+  std::uint64_t spawns_since_reset_ = 0;
+  std::uint64_t epoch_resets_ = 0;
+  /// The graph's id translation as of the last compaction this detector
+  /// mirrored; compact_local_state() uses it to re-index kinds_/put_flags_
+  /// before adopting the graph's new map.
+  dsr::epoch_id_map id_map_;
+  std::vector<std::uint64_t> suppression_hits_;
+  std::uint64_t suppressed_ = 0;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t>
+      pair_error_counts_;
+  std::uint64_t global_error_count_ = 0;
+  std::uint64_t errors_throttled_ = 0;
+  std::uint64_t reports_capped_ = 0;
+  bool error_limited_ = false;
   std::uint64_t step_ = 0;
   std::uint32_t step_low_ = 0;
   std::uint64_t stamp_hits_ = 0;

@@ -203,6 +203,10 @@ class shadow_memory {
     std::uintptr_t base = 0;
     std::uintptr_t end = 0;
     std::uint32_t shift = 0;
+    /// The mirrored_regions_ key of the registration this slab was built
+    /// from, so retiring the slab also forgets the registration and an
+    /// identical later re-registration gets a fresh slab.
+    std::uint64_t region_key = 0;
     std::vector<shadow_cell> cells;
     run_summary summary;
   };
@@ -486,7 +490,7 @@ class shadow_memory {
   /// Number of distinct locations touched. Hashed cells materialize on
   /// first access; slab cells are pre-allocated, so only touched ones count.
   std::size_t location_count() const noexcept {
-    std::size_t n = cells_.size();
+    std::size_t n = cells_.size() + retired_locations_;
     for (const direct_range& r : ranges_) {
       for (const shadow_cell& cell : r.cells) {
         if (cell.touched()) ++n;
@@ -530,6 +534,59 @@ class shadow_memory {
       for (const shadow_cell& cell : r.cells) count_overflow(cell);
     }
     return bytes;
+  }
+
+  /// Epoch compaction (DESIGN.md §12): frees every slab whose address range
+  /// no longer overlaps a *live* registered region — the backing
+  /// shared_array is gone, so no tracked access can resolve there again
+  /// short of raw address reuse — and rehashes the hashed tier down to its
+  /// current population. Touched retired cells keep counting in
+  /// location_count() through an accumulator (exact up to address reuse,
+  /// where a re-registered range restarts its count). Returns the number of
+  /// slabs retired. Never touches a slab an overlapping live region is
+  /// being served by, so detection state for reachable locations is intact.
+  std::size_t retire_dead_slabs() {
+    sync_if_stale();
+    const std::vector<detail::shared_region> live =
+        detail::shared_region_snapshot();
+    std::size_t retired = 0;
+    for (std::size_t i = 0; i < ranges_.size();) {
+      direct_range& r = ranges_[i];
+      bool overlaps_live = false;
+      for (const detail::shared_region& reg : live) {
+        if (r.base < reg.end && reg.base < r.end) {
+          overlaps_live = true;
+          break;
+        }
+      }
+      if (overlaps_live) {
+        ++i;
+        continue;
+      }
+      std::size_t touched = 0;
+      if (r.summary.valid) {
+        // Uniform pending state: every cell is logically touched iff the
+        // summary records an access (the per-cell array is stale).
+        shadow_cell synth;
+        synth.writer = r.summary.writer;
+        synth.reader0 = r.summary.reader;
+        if (synth.touched()) touched = r.cells.size();
+      }
+      for (shadow_cell& cell : r.cells) {
+        if (!r.summary.valid && cell.touched()) ++touched;
+        delete cell.overflow;
+        cell.overflow = nullptr;
+      }
+      retired_locations_ += touched;
+      slab_bytes_ -= r.cells.size() * sizeof(shadow_cell);
+      mirrored_regions_.erase(r.region_key);
+      ranges_.erase(ranges_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++retired;
+    }
+    if (retired != 0) mru_range_ = 0;  // indices shifted under the MRU
+    cells_.shrink();
+    invalidate_hashed_mru();  // shrink() may rehash: cached pointers dangle
+    return retired;
   }
 
   /// Calls fn(addr, cell) for every materialized hashed cell and every
@@ -737,6 +794,8 @@ class shadow_memory {
       r.base = run_base;
       r.end = run_end;
       r.shift = shift;
+      r.region_key = mix64(reg.base) ^ mix64(reg.end + 1) ^
+                     mix64(0x100000000ULL + reg.stride);
       std::size_t inserted_at = 0;
       try {
         r.cells.resize(static_cast<std::size_t>(run_end - run_base) >> shift);
@@ -799,6 +858,7 @@ class shadow_memory {
   std::uint64_t region_version_seen_ = 0;
   std::size_t slab_bytes_ = 0;
   bool direct_enabled_ = true;
+  std::size_t retired_locations_ = 0;  // touched cells of retired slabs
   std::uint64_t accesses_ = 0;
   std::uint64_t readers_sampled_ = 0;
   std::uint64_t max_readers_ = 0;

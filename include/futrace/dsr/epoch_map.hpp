@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file epoch_map.hpp
+/// Runtime-id <-> dense-index translation shared by the reachability graph
+/// and the race detector across epoch compactions (service mode, DESIGN.md
+/// §12). Runtime task ids are assigned once per execution and never reused;
+/// a compaction retires the ids of finalized tasks and renumbers the
+/// survivors into a dense prefix:
+///
+///   [0, kept.size())   one slot per surviving (live) task, sorted by id
+///   kept.size()        the tombstone slot (stand-in for every retired id)
+///   kept.size()+1 ...  tasks created after the compaction, in id order
+///
+/// Before the first compaction the map is the identity, so the pre-service
+/// fast path pays nothing but a branch.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace futrace::dsr {
+
+/// Dense task identifier; tasks are numbered in spawn (preorder) order.
+/// Post-compaction this remains the *runtime* id — the external name of a
+/// task — while storage indices are a separate, reused space.
+using task_id = std::uint32_t;
+
+inline constexpr task_id k_invalid_task = 0xFFFFFFFFu;
+
+class epoch_id_map {
+ public:
+  /// False until the first compact(); the map is then the identity.
+  bool compacted() const noexcept { return compacted_; }
+
+  std::size_t kept_count() const noexcept { return kept_.size(); }
+
+  /// Storage index of the tombstone slot (only meaningful once compacted).
+  task_id tombstone_index() const noexcept {
+    return static_cast<task_id>(kept_.size());
+  }
+
+  /// First storage index handed to tasks created after the compaction.
+  task_id first_new_index() const noexcept {
+    return compacted_ ? static_cast<task_id>(kept_.size() + 1) : 0;
+  }
+
+  /// Runtime ids at or above this value postdate the last compaction.
+  task_id id_base() const noexcept { return base_; }
+
+  const std::vector<task_id>& kept() const noexcept { return kept_; }
+
+  /// Runtime id -> storage index; k_invalid_task if the id was retired.
+  task_id to_index(task_id id) const noexcept {
+    if (!compacted_) return id;
+    if (id >= base_) {
+      return static_cast<task_id>(id - base_ + kept_.size() + 1);
+    }
+    const auto it = std::lower_bound(kept_.begin(), kept_.end(), id);
+    if (it != kept_.end() && *it == id) {
+      return static_cast<task_id>(it - kept_.begin());
+    }
+    return k_invalid_task;
+  }
+
+  /// Storage index -> runtime id; k_invalid_task for the tombstone slot.
+  task_id to_id(task_id index) const noexcept {
+    if (!compacted_) return index;
+    const auto k = static_cast<task_id>(kept_.size());
+    if (index < k) return kept_[index];
+    if (index == k) return k_invalid_task;
+    return static_cast<task_id>(index - k - 1 + base_);
+  }
+
+  /// Installs a new mapping: `kept_sorted` are the surviving runtime ids in
+  /// ascending order; every other id below `next_id` is retired. Ids
+  /// assigned from `next_id` on map past the tombstone slot.
+  void compact(std::vector<task_id> kept_sorted, task_id next_id) {
+    kept_ = std::move(kept_sorted);
+    base_ = next_id;
+    compacted_ = true;
+  }
+
+ private:
+  std::vector<task_id> kept_;
+  task_id base_ = 0;
+  bool compacted_ = false;
+};
+
+}  // namespace futrace::dsr

@@ -24,19 +24,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "futrace/dsr/epoch_map.hpp"
 #include "futrace/dsr/labels.hpp"
 #include "futrace/support/assert.hpp"
 #include "futrace/support/small_vector.hpp"
 
 namespace futrace::dsr {
-
-/// Dense task identifier; tasks are numbered in spawn (preorder) order.
-using task_id = std::uint32_t;
-
-inline constexpr task_id k_invalid_task = 0xFFFFFFFFu;
 
 /// Aggregate statistics, exposed for the Table 2 counters and the
 /// micro/ablation benchmarks.
@@ -50,6 +48,8 @@ struct reachability_stats {
   std::uint64_t lsa_hops = 0;         // significant-ancestor chain hops
   std::uint64_t memo_hits = 0;        // PRECEDE answered from the memo table
   std::uint64_t memo_invalidations = 0;  // epoch bumps (switch/merge/nt-edge)
+  std::uint64_t epoch_compactions = 0;   // successful try_compact() passes
+  std::uint64_t tasks_retired = 0;       // vertices freed by compaction
 };
 
 /// Everything a race report needs to justify a PRECEDE verdict by hand
@@ -135,24 +135,56 @@ class reachability_graph {
   /// verdicts are never cached — they can flip as the graph grows.
   void set_memo_enabled(bool enabled) noexcept { memo_enabled_ = enabled; }
 
+  // -- Epoch compaction (service mode, DESIGN.md §12) ------------------------
+
+  /// Attempts a quiescent-point compaction. `live` are the runtime ids of
+  /// every non-terminated task (the root continuation chain at a spawn whose
+  /// parent is the chain tip). Quiescence holds iff every vertex belongs to
+  /// a set containing a live task — then every retired task's set label
+  /// subsumes all future labels, so retired ids can be answered without
+  /// their vertices. On success, retires all finalized vertices, installs
+  /// run-length maps answering on_get/on_finish_join for retired ids, and
+  /// returns true; otherwise leaves the graph untouched and returns false.
+  ///
+  /// Verdicts and the paper counters (tasks, #NTJoins, PRECEDE queries) are
+  /// bit-identical with and without compaction; traversal diagnostics
+  /// (visit_steps, lsa_hops, nt_edges_walked, memo_hits) may diverge.
+  bool try_compact(std::span<const task_id> live);
+
+  /// Translation installed by try_compact (identity before the first one).
+  const epoch_id_map& id_map() const noexcept { return map_; }
+
   // -- Introspection (tests, benchmarks, DOT dumps) --------------------------
 
+  /// Current vertex count: total tasks created minus retired vertices.
   std::size_t task_count() const noexcept { return nodes_.size(); }
-  bool same_set(task_id a, task_id b) { return find(a) == find(b); }
-  interval_label set_label(task_id t) { return nodes_[find(t)].label; }
-  task_id spawn_parent(task_id t) const { return nodes_[t].spawn_parent; }
-  bool terminated(task_id t) const { return nodes_[t].terminated; }
+  bool same_set(task_id a, task_id b) { return find(idx(a)) == find(idx(b)); }
+  interval_label set_label(task_id t) { return nodes_[find(idx(t))].label; }
+  task_id spawn_parent(task_id t) const {
+    const task_id p = nodes_[idx(t)].spawn_parent;
+    return p == k_invalid_task ? k_invalid_task : map_.to_id(p);
+  }
+  /// Retired tasks are by definition terminated.
+  bool terminated(task_id t) const {
+    const task_id i = map_.to_index(t);
+    return i == k_invalid_task || nodes_[i].terminated;
+  }
 
   /// The set's lowest significant ancestor, or k_invalid_task.
-  task_id set_lsa(task_id t) { return nodes_[find(t)].lsa; }
+  task_id set_lsa(task_id t) {
+    const task_id l = nodes_[find(idx(t))].lsa;
+    return l == k_invalid_task ? k_invalid_task : map_.to_id(l);
+  }
 
-  /// Copy of the set's non-tree predecessor list.
+  /// Copy of the set's non-tree predecessor list (k_invalid_task entries
+  /// stand for predecessors retired by compaction).
   std::vector<task_id> set_non_tree_predecessors(task_id t);
 
   /// True iff `ancestor`'s interval subsumes `descendant`'s in the spawn
   /// tree (uses per-task labels, not set labels).
   bool is_spawn_ancestor(task_id ancestor, task_id descendant) const {
-    return nodes_[ancestor].own_label.subsumes(nodes_[descendant].own_label);
+    return nodes_[idx(ancestor)].own_label.subsumes(
+        nodes_[idx(descendant)].own_label);
   }
 
   const reachability_stats& stats() const noexcept { return stats_; }
@@ -193,6 +225,22 @@ class reachability_graph {
   void merge(task_id ancestor_side, task_id descendant_side);
   bool visit(task_id a, task_id ra, task_id start);
 
+  /// Runtime id -> storage index; the id must not be retired.
+  task_id idx(task_id id) const {
+    const task_id i = map_.to_index(id);
+    FUTRACE_DCHECK(i != k_invalid_task);
+    return i;
+  }
+
+  /// Storage index of the set a retired runtime id was merged into at its
+  /// retirement (resolved through the current union-find on return).
+  task_id retired_rep(task_id id);
+  /// Same, for the retired id's spawn parent's set.
+  task_id retired_parent_rep(task_id id);
+
+  static task_id run_lookup(const std::vector<std::pair<task_id, task_id>>& m,
+                            task_id id);
+
   // -- PRECEDE memo (direct-mapped, positive verdicts only) ------------------
 
   static constexpr std::size_t k_memo_slots = 1024;  // power of two
@@ -217,6 +265,14 @@ class reachability_graph {
   std::vector<task_id> uf_parent_;
   std::vector<node> nodes_;
   label_allocator labels_;
+  epoch_id_map map_;
+  task_id next_id_ = 0;  // next runtime id (monotone; survives compaction)
+  // Run-length maps for retired ids, rebuilt (and re-collapsed) at each
+  // compaction: entry (first_id, live_id) covers runtime ids from first_id
+  // up to the next entry. Values are runtime ids of live chain tasks whose
+  // set the retired id (resp. its spawn parent) had merged into.
+  std::vector<std::pair<task_id, task_id>> retired_set_of_;
+  std::vector<std::pair<task_id, task_id>> retired_parent_set_of_;
   std::uint64_t query_epoch_ = 0;
   std::size_t max_tasks_ = 0;  // 0 = unlimited
   reachability_stats stats_;

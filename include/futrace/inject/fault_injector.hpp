@@ -41,10 +41,12 @@ class fault_injector {
     std::uint64_t spawn_sites = 0;
     std::uint64_t get_sites = 0;
     std::uint64_t put_sites = 0;
+    std::uint64_t epoch_reset_sites = 0;
     std::uint64_t alloc_gates = 0;
     std::uint64_t thrown_spawn = 0;
     std::uint64_t thrown_get = 0;
     std::uint64_t thrown_put = 0;
+    std::uint64_t thrown_epoch_reset = 0;
     std::uint64_t dropped_puts = 0;
     std::uint64_t failed_allocs = 0;
     std::uint64_t forced_yields = 0;
@@ -54,8 +56,9 @@ class fault_injector {
     std::uint64_t pipe_forced_fulls = 0;
 
     std::uint64_t faults_fired() const noexcept {
-      return thrown_spawn + thrown_get + thrown_put + dropped_puts +
-             failed_allocs + pipe_stalls + pipe_kills + pipe_forced_fulls;
+      return thrown_spawn + thrown_get + thrown_put + thrown_epoch_reset +
+             dropped_puts + failed_allocs + pipe_stalls + pipe_kills +
+             pipe_forced_fulls;
     }
   };
 
@@ -65,6 +68,7 @@ class fault_injector {
   void op_spawn();  // throws injected_fault at the armed ordinal
   void op_get();
   void op_put();
+  void op_epoch_reset();
   bool drop_put() noexcept;
   bool fail_alloc(std::size_t bytes) noexcept;
   std::uint32_t steal_start(std::uint32_t self, std::uint32_t workers,
@@ -82,12 +86,14 @@ class fault_injector {
   std::atomic<std::uint64_t> spawn_sites_{0};
   std::atomic<std::uint64_t> get_sites_{0};
   std::atomic<std::uint64_t> put_sites_{0};
+  std::atomic<std::uint64_t> epoch_reset_sites_{0};
   std::atomic<std::uint64_t> puts_seen_{0};  // drop-put trigger counter
   std::atomic<std::uint64_t> allocs_seen_{0};
   std::atomic<std::uint64_t> steal_calls_{0};
   std::atomic<std::uint64_t> thrown_spawn_{0};
   std::atomic<std::uint64_t> thrown_get_{0};
   std::atomic<std::uint64_t> thrown_put_{0};
+  std::atomic<std::uint64_t> thrown_epoch_reset_{0};
   std::atomic<std::uint64_t> dropped_puts_{0};
   std::atomic<std::uint64_t> failed_allocs_{0};
   std::atomic<std::uint64_t> forced_yields_{0};

@@ -31,6 +31,13 @@ struct fault_plan {
   std::uint64_t throw_at_get = 0;    // Nth future/promise get() call site
   std::uint64_t throw_at_put = 0;    // Nth promise put() call site
 
+  /// The Nth epoch-reset attempt throws just before compaction runs (the
+  /// detector's quiescent-point hook; see race_detector::maybe_epoch_reset).
+  /// In pipelined mode the ordinal counts attempts process-wide across the
+  /// producer and every worker replica, so the throw lands in whichever
+  /// replica reaches the armed attempt — a worker death during reset.
+  std::uint64_t throw_at_epoch_reset = 0;
+
   // -- Lost synchronization --------------------------------------------------
   /// The Nth promise fulfillment is silently dropped: the value is stored
   /// but never published, so later getters see an unfulfilled promise —
@@ -67,9 +74,9 @@ struct fault_plan {
   /// True iff any trigger is armed.
   bool any() const noexcept {
     return throw_at_spawn != 0 || throw_at_get != 0 || throw_at_put != 0 ||
-           drop_put_at != 0 || fail_alloc_at != 0 || perturb_steals ||
-           yield_every != 0 || pipe_stall_at != 0 || pipe_kill_at != 0 ||
-           pipe_ring_full_at != 0;
+           throw_at_epoch_reset != 0 || drop_put_at != 0 ||
+           fail_alloc_at != 0 || perturb_steals || yield_every != 0 ||
+           pipe_stall_at != 0 || pipe_kill_at != 0 || pipe_ring_full_at != 0;
   }
 
   /// Human-readable one-line summary ("spawn-throw@3 yield-every=7 ...").

@@ -26,6 +26,7 @@ void spawn_site_slow(fault_injector& inj);  // may throw injected_fault
 void get_site_slow(fault_injector& inj);    // may throw injected_fault
 void put_site_slow(fault_injector& inj);    // may throw injected_fault
 bool drop_put_slow(fault_injector& inj) noexcept;
+void epoch_reset_slow(fault_injector& inj);  // may throw injected_fault
 std::uint32_t steal_start_slow(fault_injector& inj, std::uint32_t self,
                                std::uint32_t workers,
                                std::uint32_t fallback) noexcept;
@@ -58,6 +59,15 @@ inline void get_site() {
 inline void put_site() {
   if (fault_injector* inj = current_injector()) [[unlikely]] {
     detail::put_site_slow(*inj);
+  }
+}
+
+/// Fired by the race detector at a quiescent point, immediately before an
+/// epoch compaction runs. Throws injected_fault when the plan's
+/// epoch-reset trigger fires.
+inline void epoch_reset_site() {
+  if (fault_injector* inj = current_injector()) [[unlikely]] {
+    detail::epoch_reset_slow(*inj);
   }
 }
 

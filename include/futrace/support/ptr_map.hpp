@@ -69,6 +69,16 @@ class ptr_map {
     if (cap > slots_.size()) rehash(cap);
   }
 
+  /// Rehashes down to the smallest power-of-two table that still meets the
+  /// 50% load target for the current size (floor 16 slots). Epoch
+  /// compaction calls this after a workload's peak so the steady-state
+  /// table footprint tracks the live entry count, not the high-water mark.
+  void shrink() {
+    std::size_t cap = 16;
+    while (cap < (size_ + 1) * 2) cap <<= 1;
+    if (cap < slots_.size()) rehash(cap);
+  }
+
   /// Removes `key` if present; returns true iff an entry was removed.
   /// Backward-shift deletion keeps probe chains intact without tombstones:
   /// every entry after the hole that could have probed past it slides back.

@@ -537,6 +537,9 @@ struct pipelined_detector::impl {
     c.promise_puts = c0.promise_puts;
     c.get_operations = c0.get_operations;
     c.non_tree_joins = c0.non_tree_joins;
+    // Epoch resets are driven by the broadcast graph stream, so every
+    // replica compacts at the same spawns; worker 0 speaks for all.
+    c.epoch_resets = c0.epoch_resets;
     // Address-routed state is disjoint across shards: sums and maxima are
     // exact. avg_readers merges through the raw sample sum, not the
     // per-shard averages.
@@ -551,6 +554,13 @@ struct pipelined_detector::impl {
       c.untracked_accesses += ci.untracked_accesses;
       c.max_readers = std::max(c.max_readers, ci.max_readers);
       c.degraded = c.degraded || ci.degraded;
+      c.degradation_reasons |= ci.degradation_reasons;
+      // Races are address-routed, so the service-mode tallies are disjoint
+      // per shard and sum exactly. (Error limits apply per replica: a
+      // shard-local per-pair count, which throttles no later than inline.)
+      c.suppressed_races += ci.suppressed_races;
+      c.errors_throttled += ci.errors_throttled;
+      c.reports_capped += ci.reports_capped;
       reader_samples += wp->det->reader_samples();
       c.direct_hits += ci.direct_hits;
       c.hashed_hits += ci.hashed_hits;
@@ -607,6 +617,12 @@ struct pipelined_detector::impl {
     merged_reports.reserve(keep);
     for (std::size_t i = 0; i < keep; ++i) {
       merged_reports.push_back(*all[i].report);
+    }
+    // Distinct pairs not shown globally: what the workers never
+    // materialized, plus materialized reports the global cap cut here.
+    merged_counters.reports_capped += all.size() - keep;
+    if (stats.workers_died != 0) {
+      merged_counters.degradation_reasons |= k_degraded_worker_death;
     }
   }
 };
@@ -842,6 +858,18 @@ std::size_t pipelined_detector::memory_bytes() const {
 
 const pipeline_stats& pipelined_detector::pipe_stats() const {
   return impl_->stats;
+}
+
+std::vector<std::uint64_t> pipelined_detector::suppression_hits() const {
+  if (!impl_->use_pipeline) return impl_->inline_det->suppression_hits();
+  impl_->finalize();
+  std::vector<std::uint64_t> sum;
+  for (const auto& wp : impl_->workers) {
+    const std::vector<std::uint64_t>& h = wp->det->suppression_hits();
+    if (sum.size() < h.size()) sum.resize(h.size(), 0);
+    for (std::size_t i = 0; i < h.size(); ++i) sum[i] += h[i];
+  }
+  return sum;
 }
 
 bool pipelined_detector::pipelined() const { return impl_->use_pipeline; }

@@ -1,8 +1,11 @@
 #include "futrace/detect/race_detector.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
+#include "futrace/detect/suppressions.hpp"
+#include "futrace/inject/hooks.hpp"
 #include "futrace/support/assert.hpp"
 
 namespace futrace::detect {
@@ -117,6 +120,9 @@ race_detector::race_detector(options opts) : opts_(opts) {
   if (!opts_.trace_path.empty()) {
     trace_ = std::make_unique<obs::trace_session>(opts_.trace_path);
   }
+  if (opts_.suppressions != nullptr) {
+    suppression_hits_.assign(opts_.suppressions->size(), 0);
+  }
 }
 
 void race_detector::on_program_start(task_id root) {
@@ -130,6 +136,8 @@ void race_detector::on_program_start(task_id root) {
   FUTRACE_CHECK_MSG(id == root, "detector and runtime task ids diverged");
   kinds_.push_back(task_kind::root);
   put_flags_.push_back(0);
+  root_chain_.assign(1, root);
+  root_chain_tip_ = root;
 }
 
 void race_detector::on_task_spawn(task_id parent, task_id child,
@@ -139,7 +147,22 @@ void race_detector::on_task_spawn(task_id parent, task_id child,
     obs::trace_emit(obs::trace_kind::task_begin, obs::trace_track::task, child,
                     static_cast<std::uint64_t>(kind), parent);
   }
+  // Epoch compaction re-indexes every id-keyed mirror, so it must run
+  // before this spawn's entries are appended.
+  maybe_epoch_reset(parent, kind);
   // Per-task bookkeeping survives degradation: counters keep counting.
+  ++tasks_spawned_;
+  if (kind == task_kind::async) ++async_tasks_;
+  if (kind == task_kind::future) ++future_tasks_;
+  if (kind == task_kind::continuation) {
+    ++continuation_tasks_;
+    // The root only ever splits via its own puts; each split extends the set
+    // of identities that are live at root level (the quiescence frontier).
+    if (parent == root_chain_tip_) {
+      root_chain_.push_back(child);
+      root_chain_tip_ = child;
+    }
+  }
   kinds_.push_back(kind);
   put_flags_.push_back(0);
   if (!graph_degraded_ &&
@@ -163,7 +186,7 @@ void race_detector::on_promise_put(task_id fulfiller) {
     obs::trace_emit(obs::trace_kind::put, obs::trace_track::task, fulfiller);
   }
   ++promise_puts_;
-  put_flags_[fulfiller] = 1;
+  put_flags_[graph_.id_map().to_index(fulfiller)] = 1;
 }
 
 void race_detector::on_task_end(task_id t) {
@@ -211,6 +234,59 @@ void race_detector::on_program_end() {
   // normal end_root path and on exceptional unwind), so the root's "B"
   // slice is already paired; nothing to close here. The trace file itself
   // is written when the owning trace_session is destroyed.
+}
+
+void race_detector::maybe_epoch_reset(task_id parent, task_kind kind) {
+  if (opts_.epoch_reset_interval == 0 || graph_degraded_) return;
+  if (++spawns_since_reset_ < opts_.epoch_reset_interval) return;
+  // Continuation splits can fire from spawn_end() inside ~spawn_scope — a
+  // noexcept context where neither the fault-injection site nor an
+  // allocating compaction may throw. Skip them; the next ordinary root-level
+  // spawn (always inside spawn_begin, throw-safe) compacts instead.
+  if (kind == task_kind::continuation) return;
+  // A spawn whose parent is the root-chain tip happens at root level, where
+  // the only live tasks are the root's own identities — the quiescence
+  // candidate. Anything spawned deeper keeps the interval armed until the
+  // execution next returns to root level.
+  if (parent != root_chain_tip_) return;
+  inject::epoch_reset_site();
+  if (!graph_.try_compact(root_chain_)) return;  // e.g. unmerged root async
+  spawns_since_reset_ = 0;
+  ++epoch_resets_;
+  compact_local_state();
+}
+
+void race_detector::compact_local_state() {
+  const dsr::epoch_id_map& nm = graph_.id_map();
+  // Re-index the per-task mirrors: old storage positions (via the pre-reset
+  // id_map_) collapse onto the kept prefix of the new layout.
+  std::vector<task_kind> kept_kinds;
+  std::vector<std::uint8_t> kept_puts;
+  kept_kinds.reserve(nm.kept_count() + 1);
+  kept_puts.reserve(nm.kept_count() + 1);
+  for (const dsr::task_id id : nm.kept()) {
+    const dsr::task_id oi = id_map_.to_index(id);
+    kept_kinds.push_back(kinds_[oi]);
+    kept_puts.push_back(put_flags_[oi]);
+  }
+  // The tombstone slot stands in for every retired task; is_joinable never
+  // receives it (retired ids translate to k_invalid_task), so the entry
+  // only keeps the mirrors index-aligned with the graph.
+  kept_kinds.push_back(task_kind::continuation);
+  kept_puts.push_back(0);
+  kinds_ = std::move(kept_kinds);
+  put_flags_ = std::move(kept_puts);
+  id_map_ = nm;
+  // The racy-location list is consumed deduped (racy_locations()), so
+  // deduping it in place now changes no observable result and stops a racy
+  // hot loop from growing it without bound across epochs.
+  std::sort(racy_location_list_.begin(), racy_location_list_.end());
+  racy_location_list_.erase(
+      std::unique(racy_location_list_.begin(), racy_location_list_.end()),
+      racy_location_list_.end());
+  // Free cold shadow state: slabs of regions no longer registered, and the
+  // hashed tier's excess capacity.
+  shadow_.retire_dead_slabs();
 }
 
 bool race_detector::ordered(task_id before, task_id after,
@@ -579,6 +655,60 @@ void race_detector::report(const void* addr, const void* user_addr,
                   reinterpret_cast<std::uintptr_t>(addr),
                   static_cast<std::uint64_t>(kind));
 
+  // Service-mode filtering sits between the paper counters (final above)
+  // and report materialization: a suppressed or throttled race counts like
+  // any other but produces no report and cannot trip fail_fast.
+  if (opts_.suppressions != nullptr && !opts_.suppressions->empty()) {
+    const access_site fs = sites_.resolve(first_site);
+    const access_site ss = sites_.resolve(second_site);
+    std::string first_str =
+        std::string(fs.file) + ":" + std::to_string(fs.line);
+    std::string second_str =
+        std::string(ss.file) + ":" + std::to_string(ss.line);
+    char addr_buf[32];
+    std::snprintf(addr_buf, sizeof addr_buf, "%p", addr);
+    suppression_query q;
+    q.kind = race_kind_name(kind);
+    q.first = first_str;
+    q.second = second_str;
+    q.addr = addr_buf;
+    q.tier = shadow_.tier_name(addr);
+    q.labels = [this, first, second]() {
+      if (graph_degraded_) return std::string{};
+      // explain() is counter- and memo-neutral, so a label-constrained rule
+      // cannot perturb any Table 2 counter (see the witness capture below).
+      const dsr::precede_explanation ex = graph_.explain(first, second);
+      std::ostringstream out;
+      append_label(out, ex.a_set_label);
+      out << " || ";
+      append_label(out, ex.b_set_label);
+      return out.str();
+    };
+    const int rule = opts_.suppressions->match(q);
+    if (rule >= 0) {
+      ++suppression_hits_[static_cast<std::size_t>(rule)];
+      ++suppressed_;
+      return;
+    }
+  }
+
+  if (opts_.error_limit_per_pair != 0 || opts_.error_limit_global != 0) {
+    std::uint64_t& pair_count =
+        pair_error_counts_[{static_cast<std::uint32_t>(first_site),
+                            static_cast<std::uint32_t>(second_site)}];
+    const bool pair_over = opts_.error_limit_per_pair != 0 &&
+                           pair_count >= opts_.error_limit_per_pair;
+    const bool global_over = opts_.error_limit_global != 0 &&
+                             global_error_count_ >= opts_.error_limit_global;
+    if (pair_over || global_over) {
+      ++errors_throttled_;
+      error_limited_ = true;
+      return;
+    }
+    ++pair_count;
+    ++global_error_count_;
+  }
+
   const report_key key{first_site, second_site, addr,
                        static_cast<std::uint8_t>(kind)};
   const auto [slot, inserted] = report_index_.try_emplace(key, k_report_dropped);
@@ -622,6 +752,10 @@ void race_detector::report(const void* addr, const void* user_addr,
   if (reports_.size() < opts_.max_reports) {
     slot->second = reports_.size();
     reports_.push_back(materialized);
+  } else {
+    // A distinct race site pair lost to the cap: renderers surface these as
+    // "N further distinct race sites not shown".
+    ++reports_capped_;
   }
   if (opts_.fail_fast) {
     throw race_found_error(std::move(materialized));
@@ -639,14 +773,12 @@ std::vector<const void*> race_detector::racy_locations() const {
 detector_counters race_detector::counters() const {
   detector_counters c;
   const auto& gs = graph_.stats();
-  // kinds_ tracks every spawned task even after the graph stops growing
-  // (degraded mode), so counters keep counting.
-  c.tasks = kinds_.empty() ? 0 : kinds_.size() - 1;  // minus root
-  for (const task_kind k : kinds_) {
-    if (k == task_kind::async) ++c.async_tasks;
-    if (k == task_kind::future) ++c.future_tasks;
-    if (k == task_kind::continuation) ++c.continuation_tasks;
-  }
+  // Scalar tallies survive both degradation (the graph stops growing) and
+  // epoch compaction (kinds_ shrinks to the kept tasks).
+  c.tasks = tasks_spawned_;
+  c.async_tasks = async_tasks_;
+  c.future_tasks = future_tasks_;
+  c.continuation_tasks = continuation_tasks_;
   c.promise_puts = promise_puts_;
   c.get_operations = get_operations_;
   c.non_tree_joins = gs.non_tree_joins;
@@ -660,6 +792,11 @@ detector_counters race_detector::counters() const {
   c.racy_locations = racy_locations().size();
   c.untracked_accesses = shadow_.skipped_accesses();
   c.degraded = degraded();
+  c.degradation_reasons = degradation_reasons();
+  c.reports_capped = reports_capped_;
+  c.epoch_resets = epoch_resets_;
+  c.suppressed_races = suppressed_;
+  c.errors_throttled = errors_throttled_;
   const shadow_stats& ss = shadow_.stats();
   c.direct_hits = ss.direct_hits;
   c.hashed_hits = ss.hashed_hits;

@@ -1,0 +1,170 @@
+#include "futrace/detect/suppressions.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace futrace::detect {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool fail(std::string* error, std::size_t line, const std::string& what) {
+  if (error != nullptr) {
+    *error = "line " + std::to_string(line) + ": " + what;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool suppression_set::glob_match(std::string_view pattern,
+                                 std::string_view text) {
+  // Iterative backtracking matcher: remembers the latest `*` and re-expands
+  // it one character at a time on mismatch. Linear in practice for the
+  // short patterns suppression files hold.
+  std::size_t p = 0;
+  std::size_t t = 0;
+  std::size_t star = std::string_view::npos;
+  std::size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      star_t = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+bool suppression_set::parse(std::string_view text, std::string* error) {
+  std::vector<suppression_rule> parsed;
+  suppression_rule current;
+  bool in_block = false;
+  bool named = false;
+  std::size_t lineno = 0;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++lineno;
+    const std::string_view line = trim(raw);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (line == "{") {
+      if (in_block) return fail(error, lineno, "nested '{'");
+      in_block = true;
+      named = false;
+      current = suppression_rule{};
+      continue;
+    }
+    if (line == "}") {
+      if (!in_block) return fail(error, lineno, "'}' outside a block");
+      if (!named) return fail(error, lineno, "rule block has no name line");
+      parsed.push_back(std::move(current));
+      in_block = false;
+      continue;
+    }
+    if (!in_block) {
+      return fail(error, lineno, "expected '{' to open a rule block");
+    }
+    const std::size_t colon = line.find(':');
+    if (!named) {
+      // Site patterns legitimately contain ':' (file:line), so only the
+      // first non-comment line of a block may be the bare name.
+      if (colon != std::string_view::npos &&
+          line.substr(0, colon).find(' ') == std::string_view::npos &&
+          (line.substr(0, colon) == "kind" || line.substr(0, colon) == "first" ||
+           line.substr(0, colon) == "second" ||
+           line.substr(0, colon) == "addr" || line.substr(0, colon) == "tier" ||
+           line.substr(0, colon) == "labels")) {
+        return fail(error, lineno, "rule block has no name line");
+      }
+      current.name = std::string(line);
+      named = true;
+      continue;
+    }
+    if (colon == std::string_view::npos) {
+      return fail(error, lineno, "expected 'field: pattern'");
+    }
+    const std::string_view field = trim(line.substr(0, colon));
+    const std::string value{trim(line.substr(colon + 1))};
+    if (value.empty()) return fail(error, lineno, "empty pattern");
+    if (field == "kind") {
+      current.kind = value;
+    } else if (field == "first") {
+      current.first = value;
+    } else if (field == "second") {
+      current.second = value;
+    } else if (field == "addr") {
+      current.addr = value;
+    } else if (field == "tier") {
+      current.tier = value;
+    } else if (field == "labels") {
+      current.labels = value;
+    } else {
+      return fail(error, lineno, "unknown field '" + std::string(field) + "'");
+    }
+  }
+  if (in_block) return fail(error, lineno, "unterminated rule block");
+  rules_.insert(rules_.end(), std::make_move_iterator(parsed.begin()),
+                std::make_move_iterator(parsed.end()));
+  return true;
+}
+
+bool suppression_set::load_file(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), error);
+}
+
+int suppression_set::match(const suppression_query& q) const {
+  std::string labels;        // rendered lazily, at most once
+  bool have_labels = false;
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const suppression_rule& r = rules_[i];
+    if (!glob_match(r.kind, q.kind)) continue;
+    if (!glob_match(r.first, q.first)) continue;
+    if (!glob_match(r.second, q.second)) continue;
+    if (!glob_match(r.addr, q.addr)) continue;
+    if (!glob_match(r.tier, q.tier)) continue;
+    if (r.wants_labels()) {
+      if (!have_labels) {
+        labels = q.labels ? q.labels() : std::string{};
+        have_labels = true;
+      }
+      if (!glob_match(r.labels, labels)) continue;
+    }
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace futrace::detect

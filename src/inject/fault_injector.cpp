@@ -16,6 +16,7 @@ void spawn_site_slow(fault_injector& inj) { inj.op_spawn(); }
 void get_site_slow(fault_injector& inj) { inj.op_get(); }
 void put_site_slow(fault_injector& inj) { inj.op_put(); }
 bool drop_put_slow(fault_injector& inj) noexcept { return inj.drop_put(); }
+void epoch_reset_slow(fault_injector& inj) { inj.op_epoch_reset(); }
 
 std::uint32_t steal_start_slow(fault_injector& inj, std::uint32_t self,
                                std::uint32_t workers,
@@ -59,10 +60,12 @@ fault_injector::counters fault_injector::snapshot() const noexcept {
   c.spawn_sites = spawn_sites_.load(std::memory_order_relaxed);
   c.get_sites = get_sites_.load(std::memory_order_relaxed);
   c.put_sites = put_sites_.load(std::memory_order_relaxed);
+  c.epoch_reset_sites = epoch_reset_sites_.load(std::memory_order_relaxed);
   c.alloc_gates = allocs_seen_.load(std::memory_order_relaxed);
   c.thrown_spawn = thrown_spawn_.load(std::memory_order_relaxed);
   c.thrown_get = thrown_get_.load(std::memory_order_relaxed);
   c.thrown_put = thrown_put_.load(std::memory_order_relaxed);
+  c.thrown_epoch_reset = thrown_epoch_reset_.load(std::memory_order_relaxed);
   c.dropped_puts = dropped_puts_.load(std::memory_order_relaxed);
   c.failed_allocs = failed_allocs_.load(std::memory_order_relaxed);
   c.forced_yields = forced_yields_.load(std::memory_order_relaxed);
@@ -91,6 +94,13 @@ void fault_injector::op_put() {
   if (ordinal_fires(put_sites_, plan_.throw_at_put)) {
     thrown_put_.fetch_add(1, std::memory_order_relaxed);
     throw_injected("put", plan_.throw_at_put);
+  }
+}
+
+void fault_injector::op_epoch_reset() {
+  if (ordinal_fires(epoch_reset_sites_, plan_.throw_at_epoch_reset)) {
+    thrown_epoch_reset_.fetch_add(1, std::memory_order_relaxed);
+    throw_injected("epoch-reset", plan_.throw_at_epoch_reset);
   }
 }
 

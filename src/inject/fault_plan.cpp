@@ -9,6 +9,9 @@ std::string fault_plan::describe() const {
   if (throw_at_spawn != 0) out << "spawn-throw@" << throw_at_spawn << " ";
   if (throw_at_get != 0) out << "get-throw@" << throw_at_get << " ";
   if (throw_at_put != 0) out << "put-throw@" << throw_at_put << " ";
+  if (throw_at_epoch_reset != 0) {
+    out << "epoch-reset-throw@" << throw_at_epoch_reset << " ";
+  }
   if (drop_put_at != 0) out << "drop-put@" << drop_put_at << " ";
   if (fail_alloc_at != 0) {
     out << "fail-alloc@" << fail_alloc_at;
@@ -39,6 +42,8 @@ void define_fault_flags(support::flag_parser& flags) {
                "throw injected_fault at the Nth put() site (0 = off)");
   flags.define("fault-drop-put", "0",
                "silently drop the Nth promise fulfillment (0 = off)");
+  flags.define("fault-epoch-reset-throw", "0",
+               "throw injected_fault at the Nth epoch-reset attempt (0 = off)");
   flags.define("fault-alloc", "0",
                "deny the Nth gated allocation (0 = off)");
   flags.define("fault-alloc-every", "0",
@@ -66,6 +71,8 @@ fault_plan fault_plan_from_flags(const support::flag_parser& flags) {
   plan.throw_at_put = static_cast<std::uint64_t>(flags.get_int("fault-put"));
   plan.drop_put_at =
       static_cast<std::uint64_t>(flags.get_int("fault-drop-put"));
+  plan.throw_at_epoch_reset =
+      static_cast<std::uint64_t>(flags.get_int("fault-epoch-reset-throw"));
   plan.fail_alloc_at =
       static_cast<std::uint64_t>(flags.get_int("fault-alloc"));
   plan.fail_alloc_every =

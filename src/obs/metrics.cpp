@@ -132,6 +132,12 @@ support::json counters_json(const detect::detector_counters& c) {
   counters["range_events"] = c.range_events;
   counters["range_hits"] = c.range_hits;
   counters["summary_hits"] = c.summary_hits;
+  counters["degradation_reasons"] =
+      static_cast<std::uint64_t>(c.degradation_reasons);
+  counters["reports_capped"] = c.reports_capped;
+  counters["epoch_resets"] = c.epoch_resets;
+  counters["suppressed_races"] = c.suppressed_races;
+  counters["errors_throttled"] = c.errors_throttled;
   return counters;
 }
 
@@ -239,6 +245,10 @@ void add_fault_source(metrics_registry& reg,
                  static_cast<double>(c.thrown_spawn));
     snap.counter("fault", "thrown_get", static_cast<double>(c.thrown_get));
     snap.counter("fault", "thrown_put", static_cast<double>(c.thrown_put));
+    snap.counter("fault", "epoch_reset_sites",
+                 static_cast<double>(c.epoch_reset_sites));
+    snap.counter("fault", "thrown_epoch_reset",
+                 static_cast<double>(c.thrown_epoch_reset));
     snap.counter("fault", "dropped_puts",
                  static_cast<double>(c.dropped_puts));
     snap.counter("fault", "failed_allocs",

@@ -1,0 +1,572 @@
+// Service-mode tests (DESIGN.md §12): suppression-file parsing and matching,
+// error-limit throttling, report capping, and — the differential at the heart
+// of the mode — epoch reset/compaction leaving verdicts and paper counters
+// bit-identical across the serial, fastpath-off, and pipelined engines.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "futrace/detect/pipeline.hpp"
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/detect/suppressions.hpp"
+#include "futrace/progen/random_program.hpp"
+#include "futrace/runtime/runtime.hpp"
+
+namespace futrace::detect {
+namespace {
+
+// Runs `program` under a fresh detector built from `opts`.
+template <typename Fn>
+race_detector detect_with(race_detector::options opts, Fn&& program) {
+  race_detector det(opts);
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run(std::forward<Fn>(program));
+  return det;
+}
+
+// ------------------------------------------------------------- glob matching
+
+TEST(SuppressionGlob, LiteralAndQuestionMark) {
+  EXPECT_TRUE(suppression_set::glob_match("abc", "abc"));
+  EXPECT_FALSE(suppression_set::glob_match("abc", "abd"));
+  EXPECT_FALSE(suppression_set::glob_match("abc", "abcd"));
+  EXPECT_TRUE(suppression_set::glob_match("a?c", "abc"));
+  EXPECT_FALSE(suppression_set::glob_match("a?c", "ac"));
+  EXPECT_TRUE(suppression_set::glob_match("", ""));
+  EXPECT_FALSE(suppression_set::glob_match("", "x"));
+}
+
+TEST(SuppressionGlob, StarRuns) {
+  EXPECT_TRUE(suppression_set::glob_match("*", ""));
+  EXPECT_TRUE(suppression_set::glob_match("*", "anything"));
+  EXPECT_TRUE(suppression_set::glob_match("*.cpp:*", "dir/file.cpp:42"));
+  EXPECT_FALSE(suppression_set::glob_match("*.cpp:*", "dir/file.hpp:42"));
+  EXPECT_TRUE(suppression_set::glob_match("a*b*c", "a__b__b__c"));
+  EXPECT_FALSE(suppression_set::glob_match("a*b*c", "a__c__b"));
+  // Backtracking: the first '*' must re-expand past the decoy 'b'.
+  EXPECT_TRUE(suppression_set::glob_match("*bc", "abbc"));
+}
+
+// ------------------------------------------------------------------- parsing
+
+TEST(SuppressionParse, AcceptsFullAndMinimalBlocks) {
+  suppression_set set;
+  std::string err;
+  ASSERT_TRUE(set.parse("# comment\n"
+                        "{\n"
+                        "  full-rule\n"
+                        "  kind: write-write\n"
+                        "  first: a.cpp:10\n"
+                        "  second: b.cpp:*\n"
+                        "  addr: 0x?f*\n"
+                        "  tier: slab\n"
+                        "  labels: *\n"
+                        "}\n"
+                        "{\n"
+                        "  minimal-rule\n"
+                        "}\n",
+                        &err))
+      << err;
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.rule(0).name, "full-rule");
+  EXPECT_EQ(set.rule(0).kind, "write-write");
+  EXPECT_EQ(set.rule(0).second, "b.cpp:*");
+  // Omitted fields default to match-anything.
+  EXPECT_EQ(set.rule(1).kind, "*");
+  EXPECT_EQ(set.rule(1).first, "*");
+  EXPECT_EQ(set.rule(1).addr, "*");
+  EXPECT_FALSE(set.rule(1).wants_labels());
+}
+
+TEST(SuppressionParse, ErrorsCarryLineNumbers) {
+  const auto parse_error = [](std::string_view text) {
+    suppression_set set;
+    std::string err;
+    EXPECT_FALSE(set.parse(text, &err));
+    EXPECT_EQ(set.size(), 0u);  // failed parses leave the set untouched
+    return err;
+  };
+  EXPECT_EQ(parse_error("{\n{\n"), "line 2: nested '{'");
+  EXPECT_EQ(parse_error("}\n"), "line 1: '}' outside a block");
+  EXPECT_EQ(parse_error("{\n}\n"), "line 2: rule block has no name line");
+  EXPECT_EQ(parse_error("{\nkind: write-write\n}\n"),
+            "line 2: rule block has no name line");
+  EXPECT_EQ(parse_error("kind: x\n"),
+            "line 1: expected '{' to open a rule block");
+  EXPECT_EQ(parse_error("{\nname\nkind:\n}\n"), "line 3: empty pattern");
+  EXPECT_EQ(parse_error("{\nname\nfrist: x\n}\n"),
+            "line 3: unknown field 'frist'");
+  EXPECT_EQ(parse_error("{\nname\n"), "line 3: unterminated rule block");
+}
+
+// ------------------------------------------------------------------ matching
+
+suppression_query make_query() {
+  suppression_query q;
+  q.kind = "write-write";
+  q.first = "a.cpp:10";
+  q.second = "b.cpp:20";
+  q.addr = "0x5c3f10";
+  q.tier = "slab";
+  q.labels = [] { return std::string("[1,2] || [3,4]"); };
+  return q;
+}
+
+TEST(SuppressionMatch, FirstMatchingRuleWins) {
+  suppression_set set;
+  std::string err;
+  ASSERT_TRUE(set.parse("{\n no-match\n kind: read-write\n}\n"
+                        "{\n wide\n}\n"
+                        "{\n also-matches\n kind: write-write\n}\n",
+                        &err))
+      << err;
+  EXPECT_EQ(set.match(make_query()), 1);
+}
+
+TEST(SuppressionMatch, EveryFieldConstrains) {
+  const auto matches = [](std::string_view rule_body) {
+    suppression_set set;
+    std::string err;
+    std::string text = "{\n r\n " + std::string(rule_body) + "\n}\n";
+    EXPECT_TRUE(set.parse(text, &err)) << err;
+    return set.match(make_query()) == 0;
+  };
+  EXPECT_TRUE(matches("kind: write-write"));
+  EXPECT_FALSE(matches("kind: write-read"));
+  EXPECT_TRUE(matches("first: a.cpp:*"));
+  EXPECT_FALSE(matches("first: z.cpp:*"));
+  EXPECT_TRUE(matches("second: *:20"));
+  EXPECT_FALSE(matches("second: *:21"));
+  EXPECT_TRUE(matches("addr: 0x*"));
+  EXPECT_FALSE(matches("addr: 0y*"));
+  EXPECT_TRUE(matches("tier: slab"));
+  EXPECT_FALSE(matches("tier: cell"));
+  EXPECT_TRUE(matches("labels: [1,2]*"));
+  EXPECT_FALSE(matches("labels: [9,9]*"));
+}
+
+TEST(SuppressionMatch, LabelsRenderedLazilyAndAtMostOnce) {
+  suppression_set set;
+  std::string err;
+  ASSERT_TRUE(set.parse("{\n l1\n kind: nope\n labels: [9*\n}\n"
+                        "{\n l2\n labels: [1*\n}\n"
+                        "{\n l3\n labels: [2*\n}\n",
+                        &err))
+      << err;
+  int renders = 0;
+  suppression_query q = make_query();
+  q.labels = [&renders] {
+    ++renders;
+    return std::string("[1,2] || [3,4]");
+  };
+  EXPECT_EQ(set.match(q), 1);
+  // l1 failed on kind before labels; l2 and l3 share one rendering.
+  EXPECT_EQ(renders, 1);
+
+  suppression_set no_labels;
+  ASSERT_TRUE(no_labels.parse("{\n wide\n}\n", &err)) << err;
+  renders = 0;
+  EXPECT_EQ(no_labels.match(q), 0);
+  EXPECT_EQ(renders, 0);  // no rule wanted labels, so never rendered
+}
+
+// ------------------------------------------------- detector-level suppression
+
+TEST(Suppressions, MatchedRacesAreCountedButNotMaterialized) {
+  suppression_set set;
+  std::string err;
+  ASSERT_TRUE(set.parse("{\n other-file\n first: elsewhere.cpp:*\n}\n"
+                        "{\n this-test\n kind: write-write\n"
+                        " first: *serve_test.cpp:*\n"
+                        " second: *serve_test.cpp:*\n}\n",
+                        &err))
+      << err;
+  race_detector::options opts;
+  opts.suppressions = &set;
+  auto det = detect_with(opts, [] {
+    shared<int> x(0);
+    for (int i = 0; i < 3; ++i) {
+      finish([&] {
+        async([&] { x.write(1); });
+        async([&] { x.write(2); });
+      });
+    }
+  });
+  // races_observed (a paper counter) keeps counting; reports do not.
+  EXPECT_EQ(det.race_count(), 3u);
+  EXPECT_TRUE(det.reports().empty());
+  EXPECT_EQ(det.suppressed_races(), 3u);
+  ASSERT_EQ(det.suppression_hits().size(), 2u);
+  EXPECT_EQ(det.suppression_hits()[0], 0u);  // first-match-wins bookkeeping
+  EXPECT_EQ(det.suppression_hits()[1], 3u);
+  EXPECT_EQ(det.errors_throttled(), 0u);  // suppression precedes throttling
+  // Racy locations still reflect the suppressed race (Theorem 2 surface).
+  EXPECT_EQ(det.racy_locations().size(), 1u);
+}
+
+TEST(Suppressions, SuppressedRaceDoesNotTripFailFast) {
+  suppression_set set;
+  std::string err;
+  ASSERT_TRUE(set.parse("{\n benign\n kind: write-write\n}\n", &err)) << err;
+  race_detector::options opts;
+  opts.fail_fast = true;
+  opts.suppressions = &set;
+  auto det = detect_with(opts, [] {
+    shared<int> x(0);
+    finish([&] {
+      async([&] { x.write(1); });
+      async([&] { x.write(2); });
+    });
+  });
+  EXPECT_EQ(det.suppressed_races(), 1u);
+  EXPECT_TRUE(det.reports().empty());
+}
+
+TEST(Suppressions, PipelinedWorkersShareOneRuleSet) {
+  suppression_set set;
+  std::string err;
+  ASSERT_TRUE(set.parse("{\n benign\n kind: write-write\n}\n", &err)) << err;
+  race_detector::options opts;
+  opts.suppressions = &set;
+  opts.detect_threads = 2;
+  pipelined_detector det(opts);
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+  rt.run([] {
+    shared<int> x(0);
+    for (int i = 0; i < 4; ++i) {
+      finish([&] {
+        async([&] { x.write(1); });
+        async([&] { x.write(2); });
+      });
+    }
+  });
+  EXPECT_EQ(det.race_count(), 4u);
+  EXPECT_TRUE(det.reports().empty());
+  EXPECT_EQ(det.counters().suppressed_races, 4u);
+  ASSERT_EQ(det.suppression_hits().size(), 1u);
+  EXPECT_EQ(det.suppression_hits()[0], 4u);
+}
+
+// ------------------------------------------------------ error-limit throttle
+
+TEST(Throttling, PerPairLimitBoundsOccurrences) {
+  race_detector::options opts;
+  opts.error_limit_per_pair = 3;
+  auto det = detect_with(opts, [] {
+    shared<int> x(0);
+    for (int i = 0; i < 10; ++i) {
+      finish([&] {
+        async([&] { x.write(1); });
+        async([&] { x.write(2); });
+      });
+    }
+  });
+  EXPECT_EQ(det.race_count(), 10u);  // paper counter stays exact
+  ASSERT_EQ(det.reports().size(), 1u);
+  EXPECT_EQ(det.reports()[0].occurrences, 3u);
+  EXPECT_EQ(det.errors_throttled(), 7u);
+  // Throttling is the benign degradation bit: visible in the reasons mask,
+  // excluded from degraded().
+  EXPECT_NE(det.degradation_reasons() & k_degraded_error_limit, 0u);
+  EXPECT_FALSE(det.degraded());
+  EXPECT_FALSE(det.counters().degraded);
+}
+
+TEST(Throttling, GlobalLimitSpansSitePairs) {
+  race_detector::options opts;
+  opts.error_limit_global = 1;
+  auto det = detect_with(opts, [] {
+    shared<int> x(0);
+    shared<int> y(0);
+    finish([&] {
+      async([&] { x.write(1); });
+      async([&] { x.write(2); });
+    });
+    finish([&] {
+      async([&] { y.write(1); });
+      async([&] { y.write(2); });
+    });
+  });
+  EXPECT_EQ(det.race_count(), 2u);
+  EXPECT_EQ(det.reports().size(), 1u);  // second pair hit the global limit
+  EXPECT_EQ(det.errors_throttled(), 1u);
+  EXPECT_NE(det.degradation_reasons() & k_degraded_error_limit, 0u);
+  EXPECT_FALSE(det.degraded());
+}
+
+// -------------------------------------------------------------- report cap
+
+TEST(Reporting, CapCountsDistinctDroppedSitePairs) {
+  race_detector::options opts;
+  opts.max_reports = 2;
+  auto det = detect_with(opts, [] {
+    shared_array<int> a(4);
+    finish([&] {
+      async([&] { a.write(0, 1); });
+      async([&] { a.write(0, 2); });
+    });
+    finish([&] {
+      async([&] { a.write(1, 1); });
+      async([&] { a.write(1, 2); });
+    });
+    finish([&] {
+      async([&] { a.write(2, 1); });
+      async([&] { a.write(2, 2); });
+    });
+    finish([&] {
+      async([&] { a.write(3, 1); });
+      async([&] { a.write(3, 2); });
+    });
+  });
+  EXPECT_EQ(det.race_count(), 4u);
+  EXPECT_EQ(det.reports().size(), 2u);
+  EXPECT_EQ(det.reports_capped(), 2u);
+  EXPECT_EQ(det.counters().reports_capped, 2u);
+  // The cap bounds materialization only, not the verdict surface.
+  EXPECT_EQ(det.racy_locations().size(), 4u);
+  EXPECT_FALSE(det.degraded());
+}
+
+// --------------------------------------------------- epoch reset regression
+
+TEST(EpochReset, OrderedCrossEpochAccessDoesNotRace) {
+  race_detector::options opts;
+  opts.epoch_reset_interval = 4;
+  auto det = detect_with(opts, [] {
+    shared<int> x(0);
+    finish([&] { async([&] { x.write(1); }); });
+    // Enough quiescent root-level spawns to force several compactions while
+    // x's shadow state still names the (now retired) epoch-1 writer.
+    for (int i = 0; i < 16; ++i) finish([] { async([] {}); });
+    finish([&] { async([&] { x.write(2); }); });  // ordered vs retired writer
+    (void)x.read();
+  });
+  EXPECT_GE(det.counters().epoch_resets, 2u);
+  EXPECT_FALSE(det.race_detected());
+}
+
+TEST(EpochReset, RaceOnPreEpochShadowStateStillReported) {
+  race_detector::options opts;
+  opts.epoch_reset_interval = 4;
+  auto det = detect_with(opts, [] {
+    shared<int> x(0);
+    finish([&] { async([&] { x.write(1); }); });
+    for (int i = 0; i < 16; ++i) finish([] { async([] {}); });
+    finish([&] {
+      async([&] { x.write(2); });
+      async([&] { x.write(3); });  // unordered with write(2): a real race
+    });
+  });
+  EXPECT_GE(det.counters().epoch_resets, 2u);
+  EXPECT_TRUE(det.race_detected());
+  ASSERT_EQ(det.reports().size(), 1u);
+  EXPECT_EQ(det.reports()[0].kind, race_kind::write_write);
+}
+
+TEST(EpochReset, CompactionDefersWhileRootFutureUnjoined) {
+  race_detector::options opts;
+  opts.epoch_reset_interval = 2;
+  // The unjoined root-level future keeps a vertex outside every live task's
+  // set, so no spawn point is quiescent and every reset attempt defers.
+  auto det = detect_with(opts, [] {
+    auto pending = async_future([] { return 1; });
+    for (int i = 0; i < 12; ++i) finish([] { async([] {}); });
+    (void)pending.get();
+  });
+  EXPECT_EQ(det.counters().epoch_resets, 0u);
+
+  // The same program with spawns after the join compacts at the first
+  // post-join spawn: the deferral is a postponement, not a cancellation.
+  auto joined = detect_with(opts, [] {
+    auto pending = async_future([] { return 1; });
+    for (int i = 0; i < 12; ++i) finish([] { async([] {}); });
+    (void)pending.get();
+    finish([] { async([] {}); });
+  });
+  EXPECT_GE(joined.counters().epoch_resets, 1u);
+}
+
+// ------------------------------------------------- epoch reset differential
+
+// The bit-exactness surface: Table 2 paper counters plus the degradation
+// flag. Engine-tier diagnostics (stamp/memo/direct hit counts, visit steps)
+// are layout-dependent and deliberately excluded.
+void expect_paper_counters_equal(const detector_counters& a,
+                                 const detector_counters& b) {
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.async_tasks, b.async_tasks);
+  EXPECT_EQ(a.future_tasks, b.future_tasks);
+  EXPECT_EQ(a.continuation_tasks, b.continuation_tasks);
+  EXPECT_EQ(a.promise_puts, b.promise_puts);
+  EXPECT_EQ(a.get_operations, b.get_operations);
+  EXPECT_EQ(a.non_tree_joins, b.non_tree_joins);
+  EXPECT_EQ(a.shared_mem_accesses, b.shared_mem_accesses);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.writes, b.writes);
+  EXPECT_DOUBLE_EQ(a.avg_readers, b.avg_readers);
+  EXPECT_EQ(a.max_readers, b.max_readers);
+  EXPECT_EQ(a.locations, b.locations);
+  EXPECT_EQ(a.races_observed, b.races_observed);
+  EXPECT_EQ(a.racy_locations, b.racy_locations);
+  EXPECT_EQ(a.untracked_accesses, b.untracked_accesses);
+  EXPECT_EQ(a.degraded, b.degraded);
+}
+
+// Stable rendering of one report for cross-run comparison (task ids are
+// execution-order identical too, but sites + kind + address + occurrences
+// are the user-visible surface).
+std::string report_key(const race_report& r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%p", r.location);
+  return std::string(r.first_site.file) + ":" +
+         std::to_string(r.first_site.line) + "/" + r.second_site.file + ":" +
+         std::to_string(r.second_site.line) + "/" +
+         race_kind_name(r.kind) + "/" + buf + "/x" +
+         std::to_string(r.occurrences);
+}
+
+template <typename Det>
+std::vector<std::string> report_keys(const Det& det) {
+  std::vector<std::string> keys;
+  for (const race_report& r : det.reports()) keys.push_back(report_key(r));
+  return keys;
+}
+
+// A multi-request service stream: several independent progen programs, each
+// wrapped in a root-level finish (the quiescent points compaction needs).
+// The programs — and with them every shared address — are built once and
+// reused across detector runs, so reset-on and reset-off runs see the exact
+// same event stream over the exact same addresses. Promise weights stay at
+// their defaults: put()-driven root splits are exactly the hard case for
+// compaction's root-chain handling.
+class service_stream {
+ public:
+  service_stream(std::uint64_t seed, int requests, int tasks_per_request) {
+    for (int i = 0; i < requests; ++i) {
+      progen::progen_config pc;
+      pc.seed = seed + static_cast<std::uint64_t>(i) * 1000003u;
+      pc.max_tasks = tasks_per_request;
+      progs_.push_back(std::make_unique<progen::random_program>(pc));
+    }
+  }
+
+  void operator()() {
+    for (auto& p : progs_) {
+      finish([&p] { (*p)(); });
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<progen::random_program>> progs_;
+};
+
+void expect_reset_differential(race_detector::options base,
+                               service_stream& stream) {
+  race_detector::options with_reset = base;
+  with_reset.epoch_reset_interval = 8;
+
+  race_detector plain(base);
+  {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.add_observer(&plain);
+    rt.run([&stream] { stream(); });
+  }
+  race_detector reset(with_reset);
+  {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.add_observer(&reset);
+    rt.run([&stream] { stream(); });
+  }
+
+  ASSERT_GE(reset.epoch_resets(), 1u);
+  EXPECT_EQ(plain.epoch_resets(), 0u);
+  expect_paper_counters_equal(plain.counters(), reset.counters());
+  EXPECT_EQ(report_keys(plain), report_keys(reset));
+  EXPECT_EQ(plain.racy_locations(), reset.racy_locations());
+}
+
+TEST(EpochReset, DifferentialSerial) {
+  for (std::uint64_t seed : {1u, 7u, 23u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    service_stream stream(seed, /*requests=*/6, /*tasks_per_request=*/60);
+    expect_reset_differential(race_detector::options{}, stream);
+  }
+}
+
+TEST(EpochReset, DifferentialFastpathOff) {
+  for (std::uint64_t seed : {3u, 11u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    service_stream stream(seed, /*requests=*/6, /*tasks_per_request=*/60);
+    race_detector::options opts;
+    opts.enable_fastpath = false;
+    expect_reset_differential(opts, stream);
+  }
+}
+
+TEST(EpochReset, DifferentialPipelined) {
+  for (std::uint64_t seed : {5u, 17u}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    service_stream stream(seed, /*requests=*/6, /*tasks_per_request=*/60);
+
+    race_detector::options base;
+    base.detect_threads = 2;
+    race_detector::options with_reset = base;
+    with_reset.epoch_reset_interval = 8;
+
+    pipelined_detector plain(base);
+    {
+      runtime rt({.mode = exec_mode::serial_dfs});
+      rt.add_observer(&plain);
+      rt.run([&stream] { stream(); });
+    }
+    pipelined_detector reset(with_reset);
+    {
+      runtime rt({.mode = exec_mode::serial_dfs});
+      rt.add_observer(&reset);
+      rt.run([&stream] { stream(); });
+    }
+
+    ASSERT_GE(reset.counters().epoch_resets, 1u);
+    expect_paper_counters_equal(plain.counters(), reset.counters());
+    EXPECT_EQ(report_keys(plain), report_keys(reset));
+    EXPECT_EQ(plain.racy_locations(), reset.racy_locations());
+  }
+}
+
+// The reset run must agree with a plain *serial* run too (not only with the
+// same engine's no-reset twin), closing the triangle across engines.
+TEST(EpochReset, PipelinedResetMatchesSerialPlain) {
+  service_stream stream(/*seed=*/29, /*requests=*/6, /*tasks_per_request=*/60);
+
+  race_detector serial_plain{race_detector::options{}};
+  {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.add_observer(&serial_plain);
+    rt.run([&stream] { stream(); });
+  }
+
+  race_detector::options opts;
+  opts.detect_threads = 2;
+  opts.epoch_reset_interval = 8;
+  pipelined_detector piped(opts);
+  {
+    runtime rt({.mode = exec_mode::serial_dfs});
+    rt.add_observer(&piped);
+    rt.run([&stream] { stream(); });
+  }
+
+  ASSERT_GE(piped.counters().epoch_resets, 1u);
+  expect_paper_counters_equal(serial_plain.counters(), piped.counters());
+  EXPECT_EQ(report_keys(serial_plain), report_keys(piped));
+  EXPECT_EQ(serial_plain.racy_locations(), piped.racy_locations());
+}
+
+}  // namespace
+}  // namespace futrace::detect

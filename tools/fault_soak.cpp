@@ -32,6 +32,7 @@
 
 #include "futrace/detect/pipeline.hpp"
 #include "futrace/detect/race_detector.hpp"
+#include "futrace/detect/suppressions.hpp"
 #include "futrace/inject/fault_injector.hpp"
 #include "futrace/obs/metrics.hpp"
 #include "futrace/progen/random_program.hpp"
@@ -44,6 +45,9 @@ namespace {
 using namespace futrace;
 
 int g_failures = 0;
+// Successful epoch compactions across every service-mode axis run; the soak
+// fails if the axis was never actually exercised.
+std::uint64_t g_epoch_resets = 0;
 
 void fail(std::uint64_t seed, const char* invariant, const std::string& detail) {
   std::printf("FAIL seed=%llu %s: %s\n",
@@ -120,10 +124,34 @@ void classify(runtime& rt, outcome& out, Fn&& fn) {
   }
 }
 
+/// Service-mode knobs for run_serial (DESIGN.md §12 axes).
+struct serial_run_opts {
+  /// options::epoch_reset_interval for the attached detector.
+  std::size_t epoch_interval = 0;
+  /// options::suppressions for the attached detector.
+  const detect::suppression_set* suppressions = nullptr;
+  /// Run the program twice, each request in its own root-level finish: the
+  /// boundary between the requests is the quiescent point epoch compaction
+  /// needs (a bare progen run spawns unjoined root asyncs that keep every
+  /// spawn point non-quiescent until program end).
+  bool two_phase = false;
+};
+
+/// Service-mode observables run_serial can harvest alongside the outcome.
+struct serial_run_extra {
+  std::uint64_t epoch_resets = 0;
+  std::uint64_t races_observed = 0;
+  std::uint64_t suppressed = 0;
+  std::size_t reports = 0;
+  inject::fault_injector::counters fired{};
+};
+
 /// One serial execution of the generated program. `plan` may be null (no
 /// injector installed); a detector is attached in serial_dfs mode only.
 outcome run_serial(exec_mode mode, progen::random_program& prog,
-                   const inject::fault_plan* plan) {
+                   const inject::fault_plan* plan,
+                   const serial_run_opts& sopts = {},
+                   serial_run_extra* extra = nullptr) {
   outcome out;
   std::unique_ptr<inject::fault_injector> inj;
   std::unique_ptr<inject::scoped_injector> guard;
@@ -131,10 +159,18 @@ outcome run_serial(exec_mode mode, progen::random_program& prog,
     inj = std::make_unique<inject::fault_injector>(*plan);
     guard = std::make_unique<inject::scoped_injector>(*inj);
   }
-  detect::race_detector det;
+  detect::race_detector det({.epoch_reset_interval = sopts.epoch_interval,
+                             .suppressions = sopts.suppressions});
   runtime rt({.mode = mode});
   if (mode == exec_mode::serial_dfs) rt.add_observer(&det);
-  classify(rt, out, [&prog] { prog(); });
+  if (sopts.two_phase) {
+    classify(rt, out, [&prog] {
+      finish([&prog] { prog(); });
+      finish([&prog] { prog(); });
+    });
+  } else {
+    classify(rt, out, [&prog] { prog(); });
+  }
   out.stats = prog.stats();
   if (mode == exec_mode::serial_dfs) {
     const auto c = det.counters();
@@ -146,6 +182,13 @@ outcome run_serial(exec_mode mode, progen::random_program& prog,
         if (prog.var_address(i) == addr) out.racy_vars.push_back(i);
       }
     }
+  }
+  if (extra != nullptr) {
+    extra->epoch_resets = det.epoch_resets();
+    extra->races_observed = det.race_count();
+    extra->suppressed = det.suppressed_races();
+    extra->reports = det.reports().size();
+    if (inj) extra->fired = inj->snapshot();
   }
   return out;
 }
@@ -261,6 +304,89 @@ void soak_serial_seed(std::uint64_t seed) {
       fail(seed, "alloc-precision",
            "degraded detector invented a race not in the baseline");
     }
+  }
+
+  // ---- service-mode axes (DESIGN.md §12) -----------------------------------
+
+  // Suppression transparency: a match-everything rule set must change no
+  // program-side observable — races stay counted, racy_vars included — while
+  // materializing zero reports.
+  detect::suppression_set wildcard;
+  std::string supp_err;
+  if (!wildcard.parse("{\n accept-all\n}\n", &supp_err)) {
+    fail(seed, "suppression-parse", supp_err);
+    return;
+  }
+  serial_run_extra supx;
+  const outcome suppressed = run_serial(exec_mode::serial_dfs, prog, nullptr,
+                                        {.suppressions = &wildcard}, &supx);
+  if (!outcomes_equal(suppressed, base)) {
+    fail(seed, "suppression-transparency",
+         "wildcard suppressions changed the run: " + describe(base) + " vs " +
+             describe(suppressed));
+  }
+  if (supx.reports != 0) {
+    fail(seed, "suppression-reports",
+         "suppressed run still materialized " + std::to_string(supx.reports) +
+             " report(s)");
+  }
+  if (supx.suppressed != supx.races_observed) {
+    fail(seed, "suppression-accounting",
+         "suppressed != races_observed under a match-everything set");
+  }
+
+  // Epoch-reset transparency under the seed's fault plan: compaction is
+  // detector-internal, so outcomes must be byte-identical with and without
+  // it. Allocation-ordinal plans are exempt — compaction frees and shrinks
+  // shadow state, shifting the allocation-gate ordinal stream (the same
+  // schedule-stability caveat the pipelined soak applies to alloc plans).
+  if (plan.fail_alloc_at == 0) {
+    serial_run_extra off_x, on_x;
+    const outcome epoch_off = run_serial(exec_mode::serial_dfs, prog, &plan,
+                                         {.two_phase = true}, &off_x);
+    const outcome epoch_on =
+        run_serial(exec_mode::serial_dfs, prog, &plan,
+                   {.epoch_interval = 16, .two_phase = true}, &on_x);
+    if (!outcomes_equal(epoch_off, epoch_on)) {
+      fail(seed, "epoch-transparency",
+           plan.describe() + ": " + describe(epoch_off) + " vs " +
+               describe(epoch_on));
+    }
+    if (off_x.races_observed != on_x.races_observed ||
+        off_x.reports != on_x.reports) {
+      fail(seed, "epoch-verdict", "epoch reset changed race accounting");
+    }
+    g_epoch_resets += on_x.epoch_resets;
+  }
+
+  // A fault injected at the compaction site itself: deterministic across
+  // runs, classified as injected_fault, and the ambient context stays clean.
+  inject::fault_plan epoch_throw;
+  epoch_throw.seed = seed;
+  epoch_throw.throw_at_epoch_reset = 1 + static_cast<std::uint32_t>(seed % 3);
+  serial_run_extra throw_x, throw_x2;
+  const outcome throw_first =
+      run_serial(exec_mode::serial_dfs, prog, &epoch_throw,
+                 {.epoch_interval = 16, .two_phase = true}, &throw_x);
+  check_cleanup(seed, exec_mode::serial_dfs, "epoch-throw-cleanup");
+  const outcome throw_second =
+      run_serial(exec_mode::serial_dfs, prog, &epoch_throw,
+                 {.epoch_interval = 16, .two_phase = true}, &throw_x2);
+  if (!outcomes_equal(throw_first, throw_second)) {
+    fail(seed, "epoch-throw-determinism",
+         epoch_throw.describe() + ": " + describe(throw_first) + " vs " +
+             describe(throw_second));
+  }
+  if (throw_x.fired.thrown_epoch_reset > 0 &&
+      throw_first.error_kind != "injected_fault") {
+    fail(seed, "epoch-throw-class",
+         "compaction-site fault fired but run ended as " +
+             describe(throw_first));
+  }
+  if (throw_x.fired.thrown_epoch_reset == 0 && !throw_first.completed) {
+    fail(seed, "epoch-throw-spurious",
+         "run failed with no compaction-site fault fired: " +
+             describe(throw_first));
   }
 }
 
@@ -416,16 +542,27 @@ inject::fault_plan pipe_plan_for(std::uint64_t seed) {
 }
 
 /// One serial_dfs execution checked through pipelined_detector. The caller
-/// installs any injector; this only runs and harvests.
+/// installs any injector; this only runs and harvests. `epoch_interval` and
+/// `two_phase` mirror run_serial's service-mode knobs.
 pipe_run run_pipelined(progen::random_program& prog, unsigned threads,
-                       std::size_t ring_capacity) {
+                       std::size_t ring_capacity,
+                       std::size_t epoch_interval = 0,
+                       bool two_phase = false) {
   pipe_run r;
   detect::race_detector::options opts;
   opts.detect_threads = threads;
+  opts.epoch_reset_interval = epoch_interval;
   detect::pipelined_detector det(opts, {.ring_capacity = ring_capacity});
   runtime rt({.mode = exec_mode::serial_dfs});
   rt.add_observer(&det);
-  classify(rt, r.out, [&prog] { prog(); });
+  if (two_phase) {
+    classify(rt, r.out, [&prog] {
+      finish([&prog] { prog(); });
+      finish([&prog] { prog(); });
+    });
+  } else {
+    classify(rt, r.out, [&prog] { prog(); });
+  }
   r.out.stats = prog.stats();
   const auto c = det.counters();
   r.out.det_reads = c.reads;
@@ -531,6 +668,37 @@ void soak_pipelined_seed(std::uint64_t seed) {
     fail(seed, "pipe-passivity",
          ctx + "fault-free pipelined run degraded to inline checking");
   }
+
+  // Epoch compaction through the pipeline, under the same fault plan and a
+  // two-request stream (the boundary between requests is the quiescent
+  // point). Worker replicas compact in per-ring FIFO lockstep, so verdicts,
+  // racy variables, and paper counters must match an inline, no-reset run of
+  // the identical stream — including when the plan kills a checker mid-run.
+  const pipe_run epoch_ref = run_pipelined(prog, 0, std::size_t{1} << 12, 0,
+                                           /*two_phase=*/true);
+  inject::fault_injector epoch_inj(plan);
+  pipe_run epoch_run;
+  {
+    inject::scoped_injector guard(epoch_inj);
+    epoch_run = run_pipelined(prog, 4, ring, /*epoch_interval=*/16,
+                              /*two_phase=*/true);
+  }
+  if (epoch_run.detected != epoch_ref.detected ||
+      epoch_run.race_count != epoch_ref.race_count) {
+    fail(seed, "pipe-epoch-verdict",
+         ctx + "race verdict diverged under epoch reset: inline " +
+             std::to_string(epoch_ref.race_count) + " vs pipelined " +
+             std::to_string(epoch_run.race_count));
+  }
+  if (epoch_run.out.racy_vars != epoch_ref.out.racy_vars) {
+    fail(seed, "pipe-epoch-racy-vars",
+         ctx + "racy variable sets diverged under epoch reset");
+  }
+  if (!paper_counters_equal(epoch_run.det, epoch_ref.det)) {
+    fail(seed, "pipe-epoch-counters",
+         ctx + "paper counters diverged under epoch reset");
+  }
+  g_epoch_resets += epoch_run.det.epoch_resets;
 
   check_cleanup(seed, exec_mode::serial_dfs, "pipe-cleanup");
 }
@@ -656,9 +824,17 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(pipe_seeds));
       }
     }
-    if (g_failures == 0) {
-      std::printf("fault_soak: %llu pipelined seeds passed\n",
+    if (pipe_seeds >= 8 && g_epoch_resets == 0) {
+      std::printf("FAIL: epoch-reset axis never compacted across %llu "
+                  "pipelined seeds\n",
                   static_cast<unsigned long long>(pipe_seeds));
+      ++g_failures;
+    }
+    if (g_failures == 0) {
+      std::printf("fault_soak: %llu pipelined seeds passed "
+                  "(%llu epoch compactions)\n",
+                  static_cast<unsigned long long>(pipe_seeds),
+                  static_cast<unsigned long long>(g_epoch_resets));
       return 0;
     }
     std::printf("fault_soak: %d failure(s)\n", g_failures);
@@ -675,11 +851,17 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(seeds));
     }
   }
+  if (seeds >= 8 && g_epoch_resets == 0) {
+    std::printf("FAIL: epoch-reset axis never compacted across %llu seeds\n",
+                static_cast<unsigned long long>(seeds));
+    ++g_failures;
+  }
   if (g_failures == 0) {
     std::printf(
         "fault_soak: %llu seeds x {elision, dfs, parallel, pipelined} "
-        "passed\n",
-        static_cast<unsigned long long>(seeds));
+        "passed (%llu epoch compactions)\n",
+        static_cast<unsigned long long>(seeds),
+        static_cast<unsigned long long>(g_epoch_resets));
     return 0;
   }
   std::printf("fault_soak: %d failure(s)\n", g_failures);

@@ -1,0 +1,496 @@
+/// serve_soak: long-running service-mode soak for the always-on detector
+/// (DESIGN.md §12). One runtime and one race_detector stay alive for the
+/// whole process while the root task loops over "requests" — generated
+/// progen programs plus a fixed known-racy program — each wrapped in
+/// finish{} so the detector returns to a quiescent point between requests
+/// and epoch compaction (--epoch-reset) can retire the finished epoch.
+///
+/// The driver asserts the service-mode invariants:
+///
+///   1. RSS plateau: with epoch compaction on, resident memory stops
+///      growing once the working set is warm — the post-warmup high-water
+///      mark stays within 10% of the high-water at warmup end. --rss-budget
+///      additionally enforces a hard cap every request.
+///   2. Verdict stability: the fixed racy request reports its race every
+///      single time (races_observed advances by exactly one), no matter how
+///      many epochs have been compacted before it.
+///   3. Report dedup: the racy request's site pair materializes exactly one
+///      report whose occurrence count tracks every repeat; further distinct
+///      race sites beyond --max-reports are counted ("N further distinct
+///      race sites not shown"), never silently lost.
+///   4. Suppressions / error limits: matched races are excluded from the
+///      report set but still counted per rule and in races_observed.
+///
+/// SIGUSR1 requests an obs metrics snapshot (detector/shadow/dsr registry
+/// JSON on stdout); the handler only sets a flag, drained at the next
+/// request boundary on the execution thread.
+///
+/// --self-check runs a seconds-scale deterministic version of the soak for
+/// ctest: the full invariant set minus the RSS-plateau assertion (too short
+/// to warm up), plus an end-to-end suppression pass against a generated
+/// suppression file.
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "futrace/detect/race_detector.hpp"
+#include "futrace/detect/suppressions.hpp"
+#include "futrace/obs/metrics.hpp"
+#include "futrace/progen/random_program.hpp"
+#include "futrace/runtime/runtime.hpp"
+#include "futrace/support/flags.hpp"
+
+namespace {
+
+using namespace futrace;
+
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+extern "C" void on_sigusr1(int) { g_dump_requested = 1; }
+
+/// Resident set size in bytes, from /proc/self/statm (field 2 is resident
+/// pages). Returns 0 when unreadable (non-Linux), which disables the RSS
+/// assertions rather than failing them.
+std::size_t read_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long vm_pages = 0, rss_pages = 0;
+  const int got = std::fscanf(f, "%llu %llu", &vm_pages, &rss_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::size_t>(rss_pages) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+}
+
+double mb(std::size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+struct soak_config {
+  std::uint64_t task_target = 1000000;
+  std::uint64_t seconds = 0;       // 0 = no wall-clock budget
+  std::uint64_t rss_budget_mb = 0; // 0 = no hard cap
+  std::size_t epoch_reset = 2048;
+  std::uint64_t racy_every = 8;    // every Nth request is the fixed racy one
+  std::size_t max_reports = 32;
+  std::uint64_t error_limit_per_pair = 0;
+  std::uint64_t error_limit_global = 0;
+  int progen_tasks = 120;          // task cap per generated request
+  std::uint64_t seed_base = 1;
+  std::uint64_t progress_every = 0;  // progress line every N requests
+  const detect::suppression_set* suppressions = nullptr;
+  bool check_plateau = true;
+  std::string metrics_out;
+};
+
+struct soak_result {
+  int failures = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t racy_requests = 0;
+  std::size_t report_count = 0;  // materialized reports
+  detect::detector_counters det{};
+  std::vector<std::uint64_t> rule_hits;
+  std::size_t racy_reports = 0;       // materialized reports at the racy cell
+  std::uint64_t racy_occurrences = 0; // folded repeats on that report
+  std::size_t warmup_high = 0;        // RSS high-water at warmup end
+  std::size_t final_high = 0;         // RSS high-water over the whole run
+  double elapsed_s = 0.0;
+};
+
+void fail(soak_result& r, const char* invariant, const std::string& detail) {
+  std::printf("FAIL %s: %s\n", invariant, detail.c_str());
+  ++r.failures;
+}
+
+/// The fixed known-racy request: two unordered asyncs both write cell 0.
+/// Same two source lines every time, so every repeat folds into one report.
+void racy_request(shared_array<int>& cell) {
+  finish([&cell] {
+    async([&cell] { cell.write(0, 1); });
+    async([&cell] { cell.write(0, 2); });
+  });
+}
+
+soak_result run_soak(const soak_config& cfg) {
+  soak_result res;
+
+  detect::race_detector::options opts;
+  opts.max_reports = cfg.max_reports;
+  opts.epoch_reset_interval = cfg.epoch_reset;
+  opts.suppressions = cfg.suppressions;
+  opts.error_limit_per_pair = cfg.error_limit_per_pair;
+  opts.error_limit_global = cfg.error_limit_global;
+  detect::race_detector det(opts);
+
+  obs::metrics_registry reg;
+  obs::add_detector_source(reg, [&det] { return det.counters(); });
+  obs::add_shadow_source(reg, [&det] { return det.storage_stats(); });
+  obs::add_reachability_source(reg, [&det] { return det.reachability_stats(); });
+
+  runtime rt({.mode = exec_mode::serial_dfs});
+  rt.add_observer(&det);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t warmup_tasks = cfg.task_target / 4;
+  bool warmup_done = false;
+  bool rss_exceeded = false;
+
+  rt.run([&] {
+    // Persistent across every request: the racy cell's address (and its
+    // shadow slab) must survive all epoch compactions.
+    shared_array<int> racy_cell(1);
+
+    std::uint64_t req = 0;
+    while (true) {
+      const std::uint64_t tasks_so_far = rt.tasks_spawned();
+      if (tasks_so_far >= cfg.task_target) break;
+      if (cfg.seconds != 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (std::chrono::duration_cast<std::chrono::seconds>(now - start)
+                .count() >= static_cast<std::int64_t>(cfg.seconds)) {
+          break;
+        }
+      }
+
+      if (g_dump_requested != 0) {
+        g_dump_requested = 0;
+        std::printf("serve_soak: SIGUSR1 metrics snapshot\n%s\n",
+                    reg.snapshot().to_json().dump().c_str());
+        std::fflush(stdout);
+      }
+
+      if (req % cfg.racy_every == 0) {
+        // Verdict stability: the known race must be observed on every
+        // repeat, whatever compaction has happened in between.
+        const std::uint64_t before = det.race_count();
+        racy_request(racy_cell);
+        ++res.racy_requests;
+        if (det.race_count() != before + 1) {
+          fail(res, "verdict-stability",
+               "racy request " + std::to_string(res.racy_requests) +
+                   " observed " + std::to_string(det.race_count() - before) +
+                   " races, expected 1");
+        }
+      } else {
+        // A generated request: fresh program, fresh shared arrays whose
+        // region registrations end with the request — exactly the slab
+        // garbage epoch compaction must reclaim. The request body runs in a
+        // child task, not on the root: a promise put() splits the identity
+        // that performs it, and while a child's continuation chain ends with
+        // the child, the root's chain stays open until program end — every
+        // root-level put would permanently grow the live set no compaction
+        // can retire (DESIGN.md §12).
+        progen::progen_config pc;
+        pc.seed = cfg.seed_base + req;
+        pc.max_tasks = cfg.progen_tasks;
+        // The steady-state stream exercises async/finish/future programs but
+        // not promise put(): a put splits the identity of every task on the
+        // resume path up to the root, and the root's pre-split identities
+        // stay live (open intervals future getters may be ordered against)
+        // until program end — memory no compaction can retire, growing with
+        // every put-bearing request. Promise flows are covered at bounded
+        // scale by the epoch differential tests and fault_soak; a service
+        // keeping RSS flat must confine puts to child tasks that complete
+        // (DESIGN.md §12).
+        pc.w_promise = 0.0;
+        pc.w_put = 0.0;
+        pc.w_promise_get = 0.0;
+        progen::random_program prog(pc);
+        finish([&prog] { async([&prog] { prog(); }); });
+      }
+      ++req;
+      if (cfg.progress_every != 0 && req % cfg.progress_every == 0) {
+        std::printf("serve_soak: req=%llu tasks=%llu rss=%.1fMB "
+                    "detector=%.1fMB graph=%.1fMB resets=%llu\n",
+                    static_cast<unsigned long long>(req),
+                    static_cast<unsigned long long>(rt.tasks_spawned()),
+                    mb(read_rss_bytes()), mb(det.memory_bytes()),
+                    mb(det.structure_bytes()),
+                    static_cast<unsigned long long>(det.epoch_resets()));
+      }
+
+      const std::size_t rss = read_rss_bytes();
+      if (rss > res.final_high) res.final_high = rss;
+      if (!warmup_done && tasks_so_far >= warmup_tasks) {
+        warmup_done = true;
+        res.warmup_high = res.final_high;
+      }
+      if (cfg.rss_budget_mb != 0 && rss != 0 &&
+          mb(rss) > static_cast<double>(cfg.rss_budget_mb)) {
+        fail(res, "rss-budget",
+             "resident set " + std::to_string(mb(rss)) + " MB exceeds --rss-budget=" +
+                 std::to_string(cfg.rss_budget_mb) + " MB at request " +
+                 std::to_string(req));
+        rss_exceeded = true;
+        break;
+      }
+    }
+    res.requests = req;
+  });
+
+  res.elapsed_s = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count() /
+                  1000.0;
+  res.det = det.counters();
+  res.report_count = det.reports().size();
+  res.rule_hits = det.suppression_hits();
+
+  // The racy request's dedup invariant: exactly one materialized report for
+  // the cell (zero when a suppression rule claims it), folding every repeat
+  // — or, under a per-pair error limit, every repeat up to the limit.
+  std::uint64_t expected_occurrences = res.racy_requests;
+  if (cfg.error_limit_per_pair != 0 &&
+      expected_occurrences > cfg.error_limit_per_pair) {
+    expected_occurrences = cfg.error_limit_per_pair;
+  }
+  const void* racy_addr = nullptr;
+  for (const detect::race_report& r : det.reports()) {
+    // The racy cell is the only shared state declared in this file.
+    const std::string_view file = r.second_site.file;
+    if (file.find("serve_soak") != std::string_view::npos) {
+      racy_addr = r.location;
+      ++res.racy_reports;
+      res.racy_occurrences = r.occurrences;
+    }
+  }
+  (void)racy_addr;
+  const bool racy_suppressed =
+      cfg.suppressions != nullptr && res.det.suppressed_races > 0;
+  if (res.racy_requests > 0 && !racy_suppressed) {
+    if (res.racy_reports != 1) {
+      fail(res, "report-dedup",
+           std::to_string(res.racy_reports) +
+               " materialized reports for the fixed racy pair, expected 1");
+    } else if (res.racy_occurrences != expected_occurrences) {
+      fail(res, "report-dedup",
+           "racy report folded " + std::to_string(res.racy_occurrences) +
+               " occurrences, expected " +
+               std::to_string(expected_occurrences));
+    }
+  }
+  if (racy_suppressed && res.racy_reports != 0) {
+    fail(res, "suppression",
+         "suppressed racy pair still materialized a report");
+  }
+
+  if (cfg.epoch_reset != 0 && res.det.epoch_resets == 0 && !rss_exceeded) {
+    fail(res, "epoch-reset", "no epoch compaction ran in the whole soak");
+  }
+
+  // RSS plateau: once warm, compaction must hold the line. The 8 MB slack
+  // absorbs allocator noise on small-footprint runs.
+  if (cfg.check_plateau && warmup_done && res.warmup_high != 0) {
+    const double limit = static_cast<double>(res.warmup_high) * 1.10 +
+                         8.0 * 1024.0 * 1024.0;
+    if (static_cast<double>(res.final_high) > limit) {
+      fail(res, "rss-plateau",
+           "post-warmup high-water " + std::to_string(mb(res.final_high)) +
+               " MB vs warmup high-water " + std::to_string(mb(res.warmup_high)) +
+               " MB (limit " + std::to_string(mb(static_cast<std::size_t>(limit))) +
+               " MB)");
+    }
+  }
+
+  if (!cfg.metrics_out.empty()) {
+    std::ofstream out(cfg.metrics_out);
+    if (!out) {
+      fail(res, "metrics-out", "cannot open " + cfg.metrics_out);
+    } else {
+      out << reg.snapshot().to_json().dump();
+    }
+  }
+  return res;
+}
+
+void print_summary(const soak_config& cfg, const soak_result& r) {
+  std::printf(
+      "serve_soak: %llu tasks across %llu requests (%llu racy) in %.1f s\n",
+      static_cast<unsigned long long>(r.det.tasks),
+      static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.racy_requests), r.elapsed_s);
+  std::printf(
+      "serve_soak: races_observed=%llu reports=%zu suppressed=%llu "
+      "throttled=%llu\n",
+      static_cast<unsigned long long>(r.det.races_observed), r.report_count,
+      static_cast<unsigned long long>(r.det.suppressed_races),
+      static_cast<unsigned long long>(r.det.errors_throttled));
+  if (r.det.reports_capped != 0) {
+    std::printf("serve_soak: %llu further distinct race sites not shown\n",
+                static_cast<unsigned long long>(r.det.reports_capped));
+  }
+  if (cfg.suppressions != nullptr) {
+    for (std::size_t i = 0; i < r.rule_hits.size(); ++i) {
+      std::printf("serve_soak: suppression '%s': %llu hit(s)\n",
+                  cfg.suppressions->rule(i).name.c_str(),
+                  static_cast<unsigned long long>(r.rule_hits[i]));
+    }
+  }
+  std::printf(
+      "serve_soak: epoch_resets=%llu rss warmup-high=%.1f MB final-high=%.1f "
+      "MB degradation=0x%x\n",
+      static_cast<unsigned long long>(r.det.epoch_resets), mb(r.warmup_high),
+      mb(r.final_high), r.det.degradation_reasons);
+}
+
+int run_self_check() {
+  int failures = 0;
+
+  // Pass 1: the invariant soak, time-compressed. No plateau assertion — a
+  // seconds-scale run never leaves warmup — but hard dedup / verdict /
+  // epoch-reset checks, plus a per-pair error limit low enough to engage.
+  soak_config cfg;
+  cfg.task_target = 40000;
+  cfg.epoch_reset = 256;
+  cfg.racy_every = 8;
+  cfg.max_reports = 16;
+  cfg.error_limit_per_pair = 4;
+  cfg.check_plateau = false;
+  soak_result r1 = run_soak(cfg);
+  print_summary(cfg, r1);
+  failures += r1.failures;
+  if (r1.det.errors_throttled == 0) {
+    std::printf("FAIL self-check: per-pair error limit never engaged\n");
+    ++failures;
+  }
+  if ((r1.det.degradation_reasons & detect::k_degraded_error_limit) == 0) {
+    std::printf("FAIL self-check: error-limit degradation reason not set\n");
+    ++failures;
+  }
+  if (r1.det.reports_capped == 0) {
+    std::printf("FAIL self-check: report cap never engaged "
+                "(max_reports=16 should be exceeded)\n");
+    ++failures;
+  }
+
+  // Pass 2: the same soak under a suppression file claiming the fixed racy
+  // pair. The race is still observed every time (verdict stability holds),
+  // but no report for it materializes and the rule's hit count tracks it.
+  const char* supp_path = "serve_soak_selfcheck.supp";
+  {
+    std::ofstream out(supp_path);
+    out << "# generated by serve_soak --self-check\n"
+        << "{\n"
+        << "  accepted-serve-soak-racy-cell\n"
+        << "  kind: write-write\n"
+        << "  first: *serve_soak.cpp:*\n"
+        << "  second: *serve_soak.cpp:*\n"
+        << "}\n";
+  }
+  detect::suppression_set supp;
+  std::string err;
+  if (!supp.load_file(supp_path, &err)) {
+    std::printf("FAIL self-check: generated suppression file rejected: %s\n",
+                err.c_str());
+    return failures + 1;
+  }
+  soak_config cfg2 = cfg;
+  cfg2.suppressions = &supp;
+  soak_result r2 = run_soak(cfg2);
+  print_summary(cfg2, r2);
+  failures += r2.failures;
+  if (r2.det.suppressed_races != r2.racy_requests) {
+    std::printf("FAIL self-check: suppressed %llu races, expected one per "
+                "racy request (%llu)\n",
+                static_cast<unsigned long long>(r2.det.suppressed_races),
+                static_cast<unsigned long long>(r2.racy_requests));
+    ++failures;
+  }
+  if (r2.rule_hits.size() != 1 ||
+      r2.rule_hits[0] != r2.det.suppressed_races) {
+    std::printf("FAIL self-check: per-rule hit count does not match "
+                "suppressed total\n");
+    ++failures;
+  }
+  if (r2.det.races_observed != r1.det.races_observed) {
+    std::printf("FAIL self-check: suppression changed races_observed "
+                "(%llu vs %llu) — paper counters must be unaffected\n",
+                static_cast<unsigned long long>(r2.det.races_observed),
+                static_cast<unsigned long long>(r1.det.races_observed));
+    ++failures;
+  }
+
+  std::remove(supp_path);
+  if (failures == 0) {
+    std::printf("serve_soak: self-check passed\n");
+    return 0;
+  }
+  std::printf("serve_soak: %d self-check failure(s)\n", failures);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  support::flag_parser flags;
+  flags.define("tasks", "1000000", "stop after this many spawned tasks");
+  flags.define("seconds", "0", "wall-clock budget in seconds (0 = none)");
+  flags.define("rss-budget", "0",
+               "hard resident-set cap in MB, checked every request (0 = off)");
+  flags.define("epoch-reset", "2048",
+               "epoch compaction interval in spawns (0 = off)");
+  flags.define("racy-every", "8",
+               "every Nth request is the fixed known-racy program");
+  flags.define("max-reports", "32", "detailed race reports retained");
+  flags.define("error-limit", "0",
+               "per-(site,site) report limit, Valgrind-style (0 = off)");
+  flags.define("error-limit-global", "0", "global report limit (0 = off)");
+  flags.define("progen-tasks", "120", "task cap per generated request");
+  flags.define("seed-base", "1", "first progen request seed");
+  flags.define("progress-every", "0",
+               "print a progress/footprint line every N requests (0 = off)");
+  flags.define("suppressions", "", "known-race suppression file to load");
+  flags.define("metrics-out", "",
+               "write a final obs registry snapshot to this JSON path");
+  flags.define("self-check", "false",
+               "run the seconds-scale deterministic invariant check (ctest)");
+  flags.parse(argc, argv);
+
+  if (flags.get_bool("self-check")) return run_self_check();
+
+  std::signal(SIGUSR1, on_sigusr1);
+
+  detect::suppression_set supp;
+  soak_config cfg;
+  cfg.task_target = static_cast<std::uint64_t>(flags.get_int("tasks"));
+  cfg.seconds = static_cast<std::uint64_t>(flags.get_int("seconds"));
+  cfg.rss_budget_mb = static_cast<std::uint64_t>(flags.get_int("rss-budget"));
+  cfg.epoch_reset = static_cast<std::size_t>(flags.get_int("epoch-reset"));
+  cfg.racy_every = static_cast<std::uint64_t>(flags.get_int("racy-every"));
+  cfg.max_reports = static_cast<std::size_t>(flags.get_int("max-reports"));
+  cfg.error_limit_per_pair =
+      static_cast<std::uint64_t>(flags.get_int("error-limit"));
+  cfg.error_limit_global =
+      static_cast<std::uint64_t>(flags.get_int("error-limit-global"));
+  cfg.progen_tasks = static_cast<int>(flags.get_int("progen-tasks"));
+  cfg.seed_base = static_cast<std::uint64_t>(flags.get_int("seed-base"));
+  cfg.progress_every =
+      static_cast<std::uint64_t>(flags.get_int("progress-every"));
+  cfg.metrics_out = flags.get_string("metrics-out");
+  const std::string supp_path = flags.get_string("suppressions");
+  if (!supp_path.empty()) {
+    std::string err;
+    if (!supp.load_file(supp_path, &err)) {
+      std::printf("serve_soak: cannot load %s: %s\n", supp_path.c_str(),
+                  err.c_str());
+      return 2;
+    }
+    cfg.suppressions = &supp;
+  }
+
+  const soak_result r = run_soak(cfg);
+  print_summary(cfg, r);
+  if (r.failures == 0) {
+    std::printf("serve_soak: all service-mode invariants held\n");
+    return 0;
+  }
+  std::printf("serve_soak: %d failure(s)\n", r.failures);
+  return 1;
+}
