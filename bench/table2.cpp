@@ -65,6 +65,7 @@ struct bench_config {
   bool ranges = true;
   std::size_t shadow_hint = 0;  // 0 = use the per-row workload hint
   unsigned detect_threads = 0;  // 0 = inline detector, N = pipelined
+  futrace::dsr::backend_kind backend = futrace::dsr::backend_kind::graph;
   std::string trace_path;       // --trace=FILE: Chrome trace of the last rep
 };
 
@@ -97,6 +98,7 @@ row_result run_row(const std::string& name, Make make,
   det_opts.shadow_reserve =
       cfg.shadow_hint != 0 ? cfg.shadow_hint : workload_hint;
   det_opts.detect_threads = cfg.detect_threads;
+  det_opts.precede_backend = cfg.backend;
   row.pipe_mode = cfg.detect_threads > 0;
 
   // The timed region covers run *and* verdict: in pipelined mode the first
@@ -181,6 +183,9 @@ int main(int argc, char** argv) {
       .define("detect-threads", "0",
               "stream events to N address-sharded checker threads "
               "(0 = inline detection on the execution thread)")
+      .define("precede-backend", "graph",
+              "PRECEDE backend: graph (paper search), depa (fork-path "
+              "labels), vc (vector clocks)")
       .define("trace", "",
               "write a Chrome trace-event JSON (Perfetto-loadable) of each "
               "row's final timed repetition to this path; rows overwrite, "
@@ -197,6 +202,12 @@ int main(int argc, char** argv) {
   cfg.ranges = !flags.get_bool("no-ranges");
   cfg.shadow_hint = static_cast<std::size_t>(flags.get_int("shadow-hint"));
   cfg.detect_threads = static_cast<unsigned>(flags.get_int("detect-threads"));
+  if (!futrace::dsr::parse_backend_kind(flags.get_string("precede-backend"),
+                                        &cfg.backend)) {
+    std::fprintf(stderr, "unknown --precede-backend '%s' (graph, depa, vc)\n",
+                 flags.get_string("precede-backend").c_str());
+    return 2;
+  }
   cfg.trace_path = flags.get_string("trace");
 
   using namespace futrace::workloads;
@@ -303,9 +314,10 @@ int main(int argc, char** argv) {
   }
   std::printf("Table 2 — determinacy race detection overhead "
               "(scale=%zu, repeats=%d, fastpath=%s, ranges=%s, "
-              "detect-threads=%u)\n\n",
+              "detect-threads=%u, backend=%s)\n\n",
               scale, cfg.repeats, cfg.fastpath ? "on" : "off",
-              cfg.ranges ? "on" : "off", cfg.detect_threads);
+              cfg.ranges ? "on" : "off", cfg.detect_threads,
+              futrace::dsr::backend_kind_name(cfg.backend));
   std::fputs(table.render().c_str(), stdout);
   std::printf(
       "\nPaper rows used JGF Size C / 2048x2048 / 10000x10000 / 1024x1024 "
@@ -321,8 +333,13 @@ int main(int argc, char** argv) {
     doc["fastpath"] = cfg.fastpath;
     doc["ranges"] = cfg.ranges;
     doc["detect_threads"] = static_cast<std::uint64_t>(cfg.detect_threads);
+    doc["backend"] = futrace::dsr::backend_kind_name(cfg.backend);
     json row_array = json::array();
-    for (const row_result& r : rows) row_array.push_back(row_to_json(r));
+    for (const row_result& r : rows) {
+      json row = row_to_json(r);
+      row["backend"] = futrace::dsr::backend_kind_name(cfg.backend);
+      row_array.push_back(row);
+    }
     doc["rows"] = row_array;
     std::ofstream out(json_path);
     if (!out) {

@@ -24,6 +24,7 @@
 
 #include "futrace/detect/race_report.hpp"
 #include "futrace/detect/shadow_memory.hpp"
+#include "futrace/dsr/precede_backend.hpp"
 #include "futrace/dsr/reachability_graph.hpp"
 #include "futrace/obs/trace.hpp"
 #include "futrace/runtime/errors.hpp"
@@ -194,6 +195,11 @@ class race_detector final : public execution_observer {
     std::uint64_t error_limit_per_pair = 0;
     /// Global counterpart of error_limit_per_pair. 0 = unlimited.
     std::uint64_t error_limit_global = 0;
+    /// Which PRECEDE answer path serves reachability queries (the
+    /// --precede-backend flag; precede_backend.hpp). Race verdicts, reports,
+    /// and paper counters are bit-identical across backends; only the
+    /// query-cost profile differs.
+    dsr::backend_kind precede_backend = dsr::backend_kind::graph;
   };
 
   race_detector();
@@ -305,8 +311,13 @@ class race_detector final : public execution_observer {
 
   detector_counters counters() const;
 
-  const dsr::reachability_stats& reachability_stats() const {
-    return graph_.stats();
+  /// The graph's structural stats merged with the active backend's
+  /// query-layer counters (precede_queries, memo_hits, label_*). By value:
+  /// the merge composes two sources.
+  dsr::reachability_stats reachability_stats() const {
+    dsr::reachability_stats s = graph_.stats();
+    backend_->merge_stats(s);
+    return s;
   }
 
   const shadow_stats& storage_stats() const { return shadow_.stats(); }
@@ -316,9 +327,11 @@ class race_detector final : public execution_observer {
   std::size_t memory_bytes() const;
 
   /// Footprint of the reachability structure alone (no shadow memory): the
-  /// O(a + f + n) term of Theorem 1, comparable against a vector-clock
-  /// detector's clock storage.
-  std::size_t structure_bytes() const { return graph_.memory_bytes(); }
+  /// O(a + f + n) term of Theorem 1 plus the active backend's label/clock
+  /// storage, comparable against a vector-clock detector's clock storage.
+  std::size_t structure_bytes() const {
+    return graph_.memory_bytes() + backend_->memory_bytes();
+  }
 
   /// True iff the task can still be joined by a later get(): future tasks
   /// and tasks that fulfilled a promise. Lemma 4's one-async-reader coverage
@@ -391,6 +404,9 @@ class race_detector final : public execution_observer {
 
   options opts_;
   dsr::reachability_graph graph_;
+  /// The PRECEDE answer path (options::precede_backend). Holds a reference
+  /// to graph_, so it is declared after it (destroyed first).
+  std::unique_ptr<dsr::precede_backend> backend_;
   shadow_memory shadow_;
   site_table sites_;
   std::vector<task_kind> kinds_;

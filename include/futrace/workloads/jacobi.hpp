@@ -21,6 +21,14 @@ struct jacobi_config {
   std::size_t n = 130;      // grid edge including the fixed boundary
   std::size_t tile = 32;    // tile edge (interior is split into tiles)
   int iterations = 6;
+  // Convergence monitoring: when nonzero, every tile task also writes its
+  // per-iteration residual and reads its own tile's residuals from the last
+  // `residual_window` iterations. Each such read is ordered only
+  // transitively through the per-tile dependency chain, so it forces a
+  // non-tree PRECEDE query whose hop distance ranges up to the window —
+  // the deep-frontier regime `ablation_ntjoins` sweeps. 0 (default) adds
+  // no accesses and leaves the workload's event stream byte-identical.
+  std::size_t residual_window = 0;
   std::uint64_t seed = 77;
 };
 
@@ -49,7 +57,8 @@ class jacobi_workload {
   jacobi_config cfg_;
   std::size_t tiles_;
   shared_array<double> grid_[2];
-  std::vector<double> initial_;  // untimed copy for the reference run
+  shared_array<double> residual_;  // [iteration][tile], residual_window only
+  std::vector<double> initial_;    // untimed copy for the reference run
 };
 
 }  // namespace futrace::workloads

@@ -113,6 +113,8 @@ race_detector::race_detector(options opts) : opts_(opts) {
   graph_.set_max_tasks(opts_.max_tasks);
   shadow_.set_max_bytes(opts_.max_shadow_bytes);
   graph_.set_memo_enabled(opts_.enable_fastpath);
+  backend_ = dsr::make_precede_backend(opts_.precede_backend, graph_);
+  backend_->set_memo_enabled(opts_.enable_fastpath);
   shadow_.set_direct_mapped(opts_.enable_fastpath);
   stamp_enabled_ = opts_.enable_fastpath;
   range_enabled_ = opts_.enable_range_checks;
@@ -134,6 +136,7 @@ void race_detector::on_program_start(task_id root) {
   }
   const dsr::task_id id = graph_.create_root();
   FUTRACE_CHECK_MSG(id == root, "detector and runtime task ids diverged");
+  backend_->on_root_created(root);
   kinds_.push_back(task_kind::root);
   put_flags_.push_back(0);
   root_chain_.assign(1, root);
@@ -178,6 +181,7 @@ void race_detector::on_task_spawn(task_id parent, task_id child,
   // Algorithm 2: label assignment, set creation, LSA inheritance.
   const dsr::task_id id = graph_.create_task(parent);
   FUTRACE_CHECK_MSG(id == child, "detector and runtime task ids diverged");
+  backend_->on_task_created(parent, child, kind == task_kind::continuation);
 }
 
 void race_detector::on_promise_put(task_id fulfiller) {
@@ -197,6 +201,7 @@ void race_detector::on_task_end(task_id t) {
   if (graph_degraded_) return;
   // Algorithm 3: finalize the postorder value.
   graph_.on_terminate(t);
+  backend_->on_terminated(t);
 }
 
 void race_detector::on_finish_end(task_id owner,
@@ -207,14 +212,17 @@ void race_detector::on_finish_end(task_id owner,
                     joined.size());
     // Piggyback a PRECEDE counter sample on the (rare) finish event so the
     // timeline shows query pressure without instrumenting the access path.
-    const dsr::reachability_stats& gs = graph_.stats();
+    const dsr::reachability_stats gs = reachability_stats();
     obs::trace_emit(obs::trace_kind::precede_sample, obs::trace_track::task,
                     owner, gs.precede_queries, gs.memo_hits);
   }
   if (graph_degraded_) return;
   // Algorithm 6: every task whose IEF just ended merges into the owner's
   // set (tree joins).
-  for (const task_id t : joined) graph_.on_finish_join(owner, t);
+  for (const task_id t : joined) {
+    graph_.on_finish_join(owner, t);
+    backend_->on_finish_joined(owner, t);
+  }
 }
 
 void race_detector::on_get(task_id waiter, task_id target) {
@@ -226,7 +234,8 @@ void race_detector::on_get(task_id waiter, task_id target) {
   // Algorithm 4: tree join (merge) or non-tree join (predecessor edge).
   ++get_operations_;
   if (graph_degraded_) return;
-  graph_.on_get(waiter, target);
+  const bool tree_join = graph_.on_get(waiter, target);
+  backend_->on_get_joined(waiter, target, tree_join);
 }
 
 void race_detector::on_program_end() {
@@ -257,6 +266,7 @@ void race_detector::maybe_epoch_reset(task_id parent, task_kind kind) {
 }
 
 void race_detector::compact_local_state() {
+  backend_->on_compacted();
   const dsr::epoch_id_map& nm = graph_.id_map();
   // Re-index the per-task mirrors: old storage positions (via the pre-reset
   // id_map_) collapse onto the kept prefix of the new layout.
@@ -293,7 +303,7 @@ bool race_detector::ordered(task_id before, task_id after,
                             precede_cache& cache) {
   if (before == k_invalid_task) return true;
   if (const bool* hit = cache.lookup(before)) return *hit;
-  const bool verdict = graph_.precedes(before, after);
+  const bool verdict = backend_->precedes(before, after);
   cache.store(before, verdict);
   return verdict;
 }
@@ -474,7 +484,7 @@ bool race_detector::try_summary_read(shadow_memory::direct_range& slab,
   const std::uint64_t pre_readers = s.reader.task == k_invalid_task ? 0 : 1;
   bool covered = false;
   if (s.reader.task != k_invalid_task) {
-    if (graph_.precedes(s.reader.task, t)) {
+    if (backend_->precedes(s.reader.task, t)) {
       s.reader = reader_entry{};
     } else if (!is_joinable(s.reader.task) && !is_joinable(t)) {
       covered = true;
@@ -484,7 +494,7 @@ bool race_detector::try_summary_read(shadow_memory::direct_range& slab,
       return false;
     }
   }
-  if (s.writer != k_invalid_task && !graph_.precedes(s.writer, t)) {
+  if (s.writer != k_invalid_task && !backend_->precedes(s.writer, t)) {
     // Write-read race on every cell: materialize for exact per-cell
     // reports. (The reader retirement above is exactly what the per-cell
     // walk would also do, so the mutation is safe to keep.)
@@ -517,10 +527,10 @@ bool race_detector::try_summary_write(shadow_memory::direct_range& slab,
   }
   const std::uint64_t pre_readers = s.reader.task == k_invalid_task ? 0 : 1;
   if (s.reader.task != k_invalid_task) {
-    if (!graph_.precedes(s.reader.task, t)) return false;  // read-write race
+    if (!backend_->precedes(s.reader.task, t)) return false;  // read-write race
     s.reader = reader_entry{};
   }
-  if (s.writer != k_invalid_task && !graph_.precedes(s.writer, t)) {
+  if (s.writer != k_invalid_task && !backend_->precedes(s.writer, t)) {
     return false;  // write-write race on every cell
   }
   shadow_.note_range_direct(count);
@@ -772,7 +782,7 @@ std::vector<const void*> race_detector::racy_locations() const {
 
 detector_counters race_detector::counters() const {
   detector_counters c;
-  const auto& gs = graph_.stats();
+  const dsr::reachability_stats gs = reachability_stats();
   // Scalar tallies survive both degradation (the graph stops growing) and
   // epoch compaction (kinds_ shrinks to the kept tasks).
   c.tasks = tasks_spawned_;
@@ -810,8 +820,9 @@ detector_counters race_detector::counters() const {
 }
 
 std::size_t race_detector::memory_bytes() const {
-  return graph_.memory_bytes() + shadow_.memory_bytes() +
-         kinds_.capacity() * sizeof(task_kind) + put_flags_.capacity();
+  return graph_.memory_bytes() + backend_->memory_bytes() +
+         shadow_.memory_bytes() + kinds_.capacity() * sizeof(task_kind) +
+         put_flags_.capacity();
 }
 
 }  // namespace futrace::detect

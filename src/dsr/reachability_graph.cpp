@@ -243,10 +243,12 @@ bool reachability_graph::precedes(task_id a, task_id b) {
   // Fast path for the commonest positive answer: a's set top is a spawn
   // ancestor of b's set top (e.g. a merged into an ancestor's set through a
   // finish, b is a later task) — no search needed.
+  ++stats_.label_comparisons;
   if (nodes_[ra].label.subsumes(nodes_[rb].label)) {
     if (memo_enabled_) memo_store(ra);
     return true;
   }
+  ++stats_.frontier_searches;
   ++query_epoch_;
   if (visit(ai, ra, bi)) {
     if (memo_enabled_) memo_store(ra);
@@ -284,6 +286,7 @@ bool reachability_graph::visit(task_id a, task_id ra, task_id start) {
     // Lines 6-11: same set, or the interval of a's set subsumes the interval
     // of x's set (the top of a's set is a spawn ancestor of x).
     if (rx == ra) return true;
+    ++stats_.label_comparisons;
     if (label_a.subsumes(nodes_[rx].label)) return true;
     if (nodes_[rx].path_epoch == query_epoch_) continue;
     nodes_[rx].path_epoch = query_epoch_;

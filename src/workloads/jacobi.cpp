@@ -27,6 +27,11 @@ void jacobi_workload::fill_initial() {
       grid_[g].poke(i, initial_[i]);  // untimed setup
     }
   }
+  if (cfg_.residual_window > 0) {
+    residual_.assign(
+        (static_cast<std::size_t>(cfg_.iterations) + 1) * tiles_ * tiles_,
+        0.0);
+  }
 }
 
 void jacobi_workload::operator()() {
@@ -69,9 +74,12 @@ void jacobi_workload::operator()() {
         const std::size_t c0 = 1 + tc * tile;
         const std::size_t c1 = std::min(c0 + tile, n - 1);
 
+        const std::size_t tidx = tr * tiles + tc;
         cur[tr * tiles + tc] =
-            async_future([this, &src, &dst, dep_futs, r0, r1, c0, c1] {
+            async_future([this, &src, &dst, dep_futs, r0, r1, c0, c1, k,
+                          tidx, tiles] {
               for (const auto& f : dep_futs) f.get();
+              double local_residual = 0.0;
               // Bulk accessors: per tile row, three contiguous source
               // strips (row above, row below, and the row itself widened by
               // one on each side to cover the left/right neighbours) plus
@@ -86,7 +94,25 @@ void jacobi_workload::operator()() {
                 for (std::size_t c = c0; c < c1; ++c) {
                   out[c - c0] = 0.25 * (up[c - c0] + down[c - c0] +
                                         mid[c - c0] + mid[c - c0 + 2]);
+                  local_residual += std::abs(out[c - c0] - mid[c - c0 + 1]);
                 }
+              }
+              if (cfg_.residual_window > 0) {
+                // Residual history: write this tile's residual, then read
+                // the tile's own residuals for the last `residual_window`
+                // iterations. Writer (this tile at iteration k-d) and
+                // reader are ordered only through the own-tile dependency
+                // chain — a d-hop transitive non-tree PRECEDE per read.
+                const std::size_t t2 = tiles * tiles;
+                const std::size_t kk = static_cast<std::size_t>(k);
+                residual_.write(kk * t2 + tidx, local_residual);
+                const std::size_t win =
+                    std::min(cfg_.residual_window, kk - 1);
+                double drift = 0.0;
+                for (std::size_t d = 1; d <= win; ++d) {
+                  drift += residual_.read((kk - d) * t2 + tidx);
+                }
+                (void)drift;
               }
             });
       }

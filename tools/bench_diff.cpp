@@ -39,8 +39,9 @@ using futrace::support::json;
 
 enum class key_class {
   ignored,
-  advisory_time,  // machine-dependent; gated only under --strict-time
-  advisory_load,  // scheduling-dependent fill levels; never gated
+  advisory_time,     // machine-dependent; gated only under --strict-time
+  advisory_load,     // scheduling-dependent fill levels; never gated
+  advisory_backend,  // PRECEDE-backend label/frontier profile; never gated
   rate,
   counter,
   boolean,
@@ -83,6 +84,13 @@ key_class classify(const std::string& raw_key) {
   // --strict-time.
   if (contains(key, "occupancy") || contains(key, "backpressure")) {
     return key_class::advisory_load;
+  }
+  // PRECEDE-backend comparison counters (label bytes/comparisons, frontier
+  // searches): these are the quantity being *compared across backends*, so a
+  // baseline recorded under one backend must not gate a run under another —
+  // a swing is surfaced for the reader, never a verdict.
+  if (contains(key, "label") || contains(key, "frontier")) {
+    return key_class::advisory_backend;
   }
   if (contains(key, "ms") || contains(key, "time") || contains(key, "cpu") ||
       contains(key, "real") || contains(key, "slowdown") ||
@@ -201,6 +209,11 @@ void diff_value(const std::string& path, const std::string& leaf_key,
                   delta_pct < -cfg.max_regress_pct;
       gated = false;
       break;
+    case key_class::advisory_backend:
+      regressed = delta_pct > cfg.max_regress_pct ||
+                  delta_pct < -cfg.max_regress_pct;
+      gated = false;
+      break;
     case key_class::rate:
       regressed = delta_pct < -cfg.max_regress_pct;  // fewer hits = worse
       break;
@@ -243,6 +256,9 @@ int report(const std::vector<finding>& findings,
     switch (f.cls) {
       case key_class::advisory_time: why = "slower"; break;
       case key_class::advisory_load: why = "load shifted"; break;
+      case key_class::advisory_backend:
+        why = "backend label profile shifted";
+        break;
       case key_class::rate: why = "hit rate dropped"; break;
       case key_class::counter: why = "counter grew"; break;
       case key_class::boolean: why = "flag flipped to false"; break;
@@ -326,6 +342,19 @@ int self_test() {
          "inline fallbacks appearing is gated");
   expect(run(R"({"pipe_events": 1000})", R"({"pipe_events": 1500})") == 1,
          "pipeline event-count growth is gated");
+
+  // PRECEDE-backend comparison keys: baselines recorded under one backend
+  // must not gate a run under another, in either direction.
+  expect(run(R"({"label_bytes": 4096})", R"({"label_bytes": 40960})") == 0,
+         "label-byte growth is never gated");
+  expect(run(R"({"label_comparisons": 100})",
+             R"({"label_comparisons": 9000})") == 0,
+         "label-comparison growth is never gated");
+  expect(run(R"({"frontier_searches": 500})",
+             R"({"frontier_searches": 0})") == 0,
+         "frontier-search drop is never gated");
+  expect(run(R"({"max_label_len": 16})", R"({"max_label_len": 48})") == 0,
+         "max-label-length growth is never gated");
 
   cfg.strict_time = true;
   expect(run(R"({"seq_ms": 10})", R"({"seq_ms": 100})") == 1,

@@ -135,7 +135,20 @@ struct serial_run_opts {
   /// needs (a bare progen run spawns unjoined root asyncs that keep every
   /// spawn point non-quiescent until program end).
   bool two_phase = false;
+  /// options::precede_backend for the attached detector.
+  dsr::backend_kind backend = dsr::backend_kind::graph;
 };
+
+/// The PRECEDE-backend axis: each seed soaks one backend, rotated so a
+/// sweep covers all three. All of a seed's compared runs share the backend
+/// (the invariants under test are per-backend determinism/transparency, not
+/// cross-backend identity — backend_test owns that differential).
+dsr::backend_kind backend_for_seed(std::uint64_t seed) {
+  constexpr dsr::backend_kind kinds[] = {dsr::backend_kind::graph,
+                                         dsr::backend_kind::depa,
+                                         dsr::backend_kind::vector_clock};
+  return kinds[seed % 3];
+}
 
 /// Service-mode observables run_serial can harvest alongside the outcome.
 struct serial_run_extra {
@@ -160,7 +173,8 @@ outcome run_serial(exec_mode mode, progen::random_program& prog,
     guard = std::make_unique<inject::scoped_injector>(*inj);
   }
   detect::race_detector det({.epoch_reset_interval = sopts.epoch_interval,
-                             .suppressions = sopts.suppressions});
+                             .suppressions = sopts.suppressions,
+                             .precede_backend = sopts.backend});
   runtime rt({.mode = mode});
   if (mode == exec_mode::serial_dfs) rt.add_observer(&det);
   if (sopts.two_phase) {
@@ -251,12 +265,15 @@ void soak_serial_seed(std::uint64_t seed) {
   cfg.seed = seed;
   cfg.max_tasks = 120;
   progen::random_program prog(cfg);
+  const dsr::backend_kind backend = backend_for_seed(seed);
 
   // Uninstrumented baseline, then the empty-plan passivity check.
-  const outcome base = run_serial(exec_mode::serial_dfs, prog, nullptr);
+  const outcome base =
+      run_serial(exec_mode::serial_dfs, prog, nullptr, {.backend = backend});
   inject::fault_plan empty;
   empty.seed = seed;
-  const outcome with_empty = run_serial(exec_mode::serial_dfs, prog, &empty);
+  const outcome with_empty =
+      run_serial(exec_mode::serial_dfs, prog, &empty, {.backend = backend});
   if (!outcomes_equal(base, with_empty)) {
     fail(seed, "passivity",
          "empty plan changed the run: " + describe(base) + " vs " +
@@ -265,9 +282,11 @@ void soak_serial_seed(std::uint64_t seed) {
 
   // The seed's real plan: determinism across repeated DFS runs.
   const inject::fault_plan plan = serial_plan_for(seed);
-  const outcome first = run_serial(exec_mode::serial_dfs, prog, &plan);
+  const outcome first =
+      run_serial(exec_mode::serial_dfs, prog, &plan, {.backend = backend});
   check_cleanup(seed, exec_mode::serial_dfs, "serial-cleanup");
-  const outcome second = run_serial(exec_mode::serial_dfs, prog, &plan);
+  const outcome second =
+      run_serial(exec_mode::serial_dfs, prog, &plan, {.backend = backend});
   if (!outcomes_equal(first, second)) {
     fail(seed, "determinism",
          plan.describe() + ": " + describe(first) + " vs " + describe(second));
@@ -278,7 +297,8 @@ void soak_serial_seed(std::uint64_t seed) {
   // faults are exempt from the stats comparison only in that elision has no
   // detector — but shadow degradation never aborts the program, so stats
   // still agree.
-  const outcome elision = run_serial(exec_mode::serial_elision, prog, &plan);
+  const outcome elision =
+      run_serial(exec_mode::serial_elision, prog, &plan, {.backend = backend});
   if (elision.completed != first.completed ||
       elision.error_kind != first.error_kind ||
       !stats_equal(elision.stats, first.stats)) {
@@ -318,8 +338,9 @@ void soak_serial_seed(std::uint64_t seed) {
     return;
   }
   serial_run_extra supx;
-  const outcome suppressed = run_serial(exec_mode::serial_dfs, prog, nullptr,
-                                        {.suppressions = &wildcard}, &supx);
+  const outcome suppressed =
+      run_serial(exec_mode::serial_dfs, prog, nullptr,
+                 {.suppressions = &wildcard, .backend = backend}, &supx);
   if (!outcomes_equal(suppressed, base)) {
     fail(seed, "suppression-transparency",
          "wildcard suppressions changed the run: " + describe(base) + " vs " +
@@ -342,11 +363,12 @@ void soak_serial_seed(std::uint64_t seed) {
   // schedule-stability caveat the pipelined soak applies to alloc plans).
   if (plan.fail_alloc_at == 0) {
     serial_run_extra off_x, on_x;
-    const outcome epoch_off = run_serial(exec_mode::serial_dfs, prog, &plan,
-                                         {.two_phase = true}, &off_x);
-    const outcome epoch_on =
+    const outcome epoch_off =
         run_serial(exec_mode::serial_dfs, prog, &plan,
-                   {.epoch_interval = 16, .two_phase = true}, &on_x);
+                   {.two_phase = true, .backend = backend}, &off_x);
+    const outcome epoch_on = run_serial(
+        exec_mode::serial_dfs, prog, &plan,
+        {.epoch_interval = 16, .two_phase = true, .backend = backend}, &on_x);
     if (!outcomes_equal(epoch_off, epoch_on)) {
       fail(seed, "epoch-transparency",
            plan.describe() + ": " + describe(epoch_off) + " vs " +
@@ -365,13 +387,14 @@ void soak_serial_seed(std::uint64_t seed) {
   epoch_throw.seed = seed;
   epoch_throw.throw_at_epoch_reset = 1 + static_cast<std::uint32_t>(seed % 3);
   serial_run_extra throw_x, throw_x2;
-  const outcome throw_first =
-      run_serial(exec_mode::serial_dfs, prog, &epoch_throw,
-                 {.epoch_interval = 16, .two_phase = true}, &throw_x);
+  const outcome throw_first = run_serial(
+      exec_mode::serial_dfs, prog, &epoch_throw,
+      {.epoch_interval = 16, .two_phase = true, .backend = backend}, &throw_x);
   check_cleanup(seed, exec_mode::serial_dfs, "epoch-throw-cleanup");
-  const outcome throw_second =
-      run_serial(exec_mode::serial_dfs, prog, &epoch_throw,
-                 {.epoch_interval = 16, .two_phase = true}, &throw_x2);
+  const outcome throw_second = run_serial(
+      exec_mode::serial_dfs, prog, &epoch_throw,
+      {.epoch_interval = 16, .two_phase = true, .backend = backend},
+      &throw_x2);
   if (!outcomes_equal(throw_first, throw_second)) {
     fail(seed, "epoch-throw-determinism",
          epoch_throw.describe() + ": " + describe(throw_first) + " vs " +
@@ -547,11 +570,13 @@ inject::fault_plan pipe_plan_for(std::uint64_t seed) {
 pipe_run run_pipelined(progen::random_program& prog, unsigned threads,
                        std::size_t ring_capacity,
                        std::size_t epoch_interval = 0,
-                       bool two_phase = false) {
+                       bool two_phase = false,
+                       dsr::backend_kind backend = dsr::backend_kind::graph) {
   pipe_run r;
   detect::race_detector::options opts;
   opts.detect_threads = threads;
   opts.epoch_reset_interval = epoch_interval;
+  opts.precede_backend = backend;
   detect::pipelined_detector det(opts, {.ring_capacity = ring_capacity});
   runtime rt({.mode = exec_mode::serial_dfs});
   rt.add_observer(&det);
@@ -586,10 +611,12 @@ void soak_pipelined_seed(std::uint64_t seed) {
   cfg.seed = seed;
   cfg.max_tasks = 120;
   progen::random_program prog(cfg);
+  const dsr::backend_kind backend = backend_for_seed(seed);
 
   // Inline reference (detect_threads = 0): the verdict every pipelined run
   // must reproduce exactly.
-  const pipe_run ref = run_pipelined(prog, 0, std::size_t{1} << 12);
+  const pipe_run ref =
+      run_pipelined(prog, 0, std::size_t{1} << 12, 0, false, backend);
   if (ref.pipelined) {
     fail(seed, "pipe-inline-ref", "detect_threads=0 spawned checker threads");
     return;
@@ -603,7 +630,7 @@ void soak_pipelined_seed(std::uint64_t seed) {
   pipe_run run;
   {
     inject::scoped_injector guard(inj);
-    run = run_pipelined(prog, 4, ring);
+    run = run_pipelined(prog, 4, ring, 0, false, backend);
   }
   const auto fired = inj.snapshot();
   const std::string ctx =
@@ -675,13 +702,13 @@ void soak_pipelined_seed(std::uint64_t seed) {
   // racy variables, and paper counters must match an inline, no-reset run of
   // the identical stream — including when the plan kills a checker mid-run.
   const pipe_run epoch_ref = run_pipelined(prog, 0, std::size_t{1} << 12, 0,
-                                           /*two_phase=*/true);
+                                           /*two_phase=*/true, backend);
   inject::fault_injector epoch_inj(plan);
   pipe_run epoch_run;
   {
     inject::scoped_injector guard(epoch_inj);
     epoch_run = run_pipelined(prog, 4, ring, /*epoch_interval=*/16,
-                              /*two_phase=*/true);
+                              /*two_phase=*/true, backend);
   }
   if (epoch_run.detected != epoch_ref.detected ||
       epoch_run.race_count != epoch_ref.race_count) {
